@@ -1,0 +1,43 @@
+// Command probe prints quick solver timings (development aid).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	sizes := []int{500, 1000, 2000, 5000}
+	if len(os.Args) > 1 {
+		sizes = nil
+		for _, a := range os.Args[1:] {
+			n, _ := strconv.Atoi(a)
+			sizes = append(sizes, n)
+		}
+	}
+	for _, n := range sizes {
+		p := gen.Pd(gen.PdConfig{N: n, Seed: 1})
+		src, dst := gen.DefaultQuery(p)
+		kinds := []core.SolverKind{core.SolverTst, core.SolverAlg}
+		if os.Getenv("PROBE_TST_ONLY") != "" {
+			kinds = kinds[:1]
+		}
+		if os.Getenv("PROBE_CFLRB") != "" {
+			kinds = append(kinds, core.SolverCflrB)
+		}
+		for _, kind := range kinds {
+			eng := core.NewEngine(p, core.Options{Solver: kind})
+			start := time.Now()
+			set, err := eng.SimilarPaths(core.Query{Src: src, Dst: dst})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("n=%d %-12v %12v  |VC2|=%d\n", n, kind, time.Since(start).Round(time.Microsecond), set.Cardinality())
+		}
+	}
+}

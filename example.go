@@ -1,0 +1,142 @@
+package provdb
+
+// Worked examples from the paper, reusable by tests, examples and the CLI:
+// the Fig. 2 face-classification lifecycle (Alice and Bob train models over
+// three commits) and the Fig. 3 repetitive model-adjustment project.
+
+// Fig2Lifecycle builds the provenance graph of the paper's running example
+// (Fig. 2(a)/(c)) and returns it together with the named vertices the
+// queries reference.
+//
+// Version v1 (Alice): imports dataset, model (from vgg16) and solver,
+// trains; v2 (Alice): updates the model definition, retrains; v3 (Bob):
+// updates the solver configuration, retrains with Alice's original model.
+func Fig2Lifecycle() (*Graph, map[string]VertexID) {
+	g := New()
+	names := map[string]VertexID{}
+
+	// Version v1 — Alice.
+	dataset := g.Import("Alice", "dataset", "http://data.example/faces")
+	model1 := g.Import("Alice", "model", "")
+	g.SetProp(model1, "ref", String("vgg16"))
+	solver1 := g.Import("Alice", "solver", "")
+	g.SetProp(solver1, "iter", Int(20000))
+	train1, outs1 := g.Run("Alice", "train", []VertexID{model1, solver1, dataset}, []string{"logs", "weights"})
+	g.SetProp(train1, "opt", String("-gpu"))
+	g.SetProp(outs1[0], "acc", Float(0.7))
+
+	// Version v2 — Alice edits the model definition and retrains.
+	update2, modelOuts := g.Run("Alice", "update", []VertexID{model1}, []string{"model"})
+	model2 := modelOuts[0]
+	g.SetProp(model2, "ann", String("AVG"))
+	train2, outs2 := g.Run("Alice", "train", []VertexID{model2, solver1, dataset}, []string{"logs", "weights"})
+	g.SetProp(train2, "opt", String("-gpu"))
+	g.SetProp(outs2[0], "acc", Float(0.5))
+
+	// Version v3 — Bob edits the solver and retrains with model v1.
+	update3, solverOuts := g.Run("Bob", "update", []VertexID{solver1}, []string{"solver"})
+	solver3 := solverOuts[0]
+	g.SetProp(solver3, "lr", Float(0.01))
+	train3, outs3 := g.Run("Bob", "train", []VertexID{model1, solver3, dataset}, []string{"logs", "weights"})
+	g.SetProp(train3, "opt", String("-gpu"))
+	g.SetProp(outs3[0], "acc", Float(0.75))
+
+	names["dataset-v1"] = dataset
+	names["model-v1"] = model1
+	names["model-v2"] = model2
+	names["solver-v1"] = solver1
+	names["solver-v3"] = solver3
+	names["train-v1"] = train1
+	names["train-v2"] = train2
+	names["train-v3"] = train3
+	names["update-v2"] = update2
+	names["update-v3"] = update3
+	names["log-v1"] = outs1[0]
+	names["weight-v1"] = outs1[1]
+	names["log-v2"] = outs2[0]
+	names["weight-v2"] = outs2[1]
+	names["log-v3"] = outs3[0]
+	names["weight-v3"] = outs3[1]
+	names["Alice"] = g.Agent("Alice")
+	names["Bob"] = g.Agent("Bob")
+	return g, names
+}
+
+// Fig2Q1 is Query 1 (Fig. 2(d)): how is Alice's v2 weight connected to the
+// dataset — excluding attribution and derivation edges, extending two
+// activities from the weight.
+func Fig2Q1(names map[string]VertexID) Query {
+	return Query{
+		Src: []VertexID{names["dataset-v1"]},
+		Dst: []VertexID{names["weight-v2"]},
+		Boundary: Boundary{
+			ExcludeRels: []Rel{RelAttr, RelDeriv},
+			Expansions:  []Expansion{{Within: []VertexID{names["weight-v2"]}, K: 2}},
+		},
+	}
+}
+
+// Fig2Q2 is Query 2: how did Bob derive the v3 accuracy log from the
+// dataset.
+func Fig2Q2(names map[string]VertexID) Query {
+	return Query{
+		Src: []VertexID{names["dataset-v1"]},
+		Dst: []VertexID{names["log-v3"]},
+		Boundary: Boundary{
+			ExcludeRels: []Rel{RelAttr, RelDeriv},
+			Expansions:  []Expansion{{Within: []VertexID{names["log-v3"]}, K: 2}},
+		},
+	}
+}
+
+// Fig2Q3Options is Query 3 (Fig. 2(e)): summarize Q1 and Q2 aggregating
+// activities by command and entities by filename, with 1-hop provenance
+// types.
+func Fig2Q3Options() SumOptions {
+	return SumOptions{
+		K: Aggregation{
+			Entity:   []string{"filename"},
+			Activity: []string{"command"},
+		},
+		TypeRadius: 1,
+	}
+}
+
+// Fig3Project builds the repetitive model-adjustment project of Fig. 3:
+// a partition step produces two datasets; two update-train-plot rounds
+// adjust a model, and a compare step joins the plots.
+func Fig3Project() (*Graph, map[string]VertexID) {
+	g := New()
+	names := map[string]VertexID{}
+
+	d0 := g.Import("carol", "rawdata", "http://data.example/raw")
+	m1 := g.Import("carol", "model", "")
+	_, parts := g.Run("carol", "partition", []VertexID{d0}, []string{"d1", "d2"})
+	d1, d2 := parts[0], parts[1]
+
+	// Round 1: update model -> m2, train on d1 -> w2/l2, plot -> p2.
+	_, m2out := g.Run("carol", "update", []VertexID{m1}, []string{"model2"})
+	m2 := m2out[0]
+	_, t1out := g.Run("carol", "train", []VertexID{m2, d1}, []string{"w2", "l2"})
+	w2 := t1out[0]
+	_, p2out := g.Run("carol", "plot", []VertexID{w2}, []string{"p2"})
+
+	// Round 2: update model -> m3, train on d2 -> w3/l3, plot -> p3.
+	_, m3out := g.Run("carol", "update", []VertexID{m2}, []string{"model3"})
+	m3 := m3out[0]
+	_, t2out := g.Run("carol", "train", []VertexID{m3, d2}, []string{"w3", "l3"})
+	w3 := t2out[0]
+	_, p3out := g.Run("carol", "plot", []VertexID{w3}, []string{"p3"})
+
+	// Compare joins the plots.
+	_, cmpOut := g.Run("carol", "compare", []VertexID{p2out[0], p3out[0]}, []string{"p4"})
+
+	names["rawdata"] = d0
+	names["m1"], names["m2"], names["m3"] = m1, m2, m3
+	names["d1"], names["d2"] = d1, d2
+	names["w2"], names["l2"] = w2, t1out[1]
+	names["w3"], names["l3"] = w3, t2out[1]
+	names["p2"], names["p3"] = p2out[0], p3out[0]
+	names["p4"] = cmpOut[0]
+	return g, names
+}

@@ -1,0 +1,87 @@
+// Teamaudit: an outsider (auditor / new team member / manager) explores a
+// synthetic collaborative project at multiple resolutions. Per-result
+// segments are summarized with different property aggregations and
+// provenance-type radii, showing how PgSum trades detail for compactness
+// while never inventing a pipeline that did not happen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	provdb "repro"
+)
+
+func main() {
+	// A mid-sized synthetic project (Sec. V's Pd generator).
+	g := provdb.GeneratePd(provdb.PdConfig{N: 4000, Seed: 7})
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("project: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Slice the project into per-outcome segments: for a handful of late
+	// result entities, segment back to the earliest datasets.
+	src, _ := provdb.DefaultPdQuery(g)
+	ents := g.Prov().Entities()
+	var segs []*provdb.Segment
+	for i := 0; i < 6; i++ {
+		dst := ents[len(ents)-1-i*3]
+		seg, err := g.Segment(provdb.Query{
+			Src: src,
+			Dst: []provdb.VertexID{dst},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if seg.NumVertices() > 2 {
+			segs = append(segs, seg)
+		}
+	}
+	fmt.Printf("collected %d segments\n", len(segs))
+
+	// Resolution 1: coarse — ignore everything but the vertex kinds.
+	coarse, err := provdb.Summarize(segs, provdb.SumOptions{TypeRadius: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Resolution 2: group activities by command (what happened), 1-hop
+	// provenance types (how it was wired).
+	medium, err := provdb.Summarize(segs, provdb.SumOptions{
+		K:          provdb.Aggregation{Activity: []string{"command"}},
+		TypeRadius: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Resolution 3: also distinguish files and a wider neighborhood.
+	fine, err := provdb.Summarize(segs, provdb.SumOptions{
+		K: provdb.Aggregation{
+			Activity: []string{"command", "options"},
+			Entity:   []string{"filename"},
+		},
+		TypeRadius: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nresolution ladder (lower cr = more compact):")
+	fmt.Printf("  kinds only,        R0: %4d nodes  cr=%.3f\n", len(coarse.Nodes), coarse.CompactionRatio())
+	fmt.Printf("  by command,        R1: %4d nodes  cr=%.3f\n", len(medium.Nodes), medium.CompactionRatio())
+	fmt.Printf("  command+file+opts, R2: %4d nodes  cr=%.3f\n", len(fine.Nodes), fine.CompactionRatio())
+
+	// The paper's comparison: pSum (keyword answer-graph summarizer)
+	// cannot exploit directed trace equivalence and compacts less.
+	pcr := provdb.PSumBaseline(segs, provdb.Aggregation{Activity: []string{"command"}})
+	fmt.Printf("\npSum baseline at the middle resolution: cr=%.3f (PgSum: %.3f)\n",
+		pcr, medium.CompactionRatio())
+
+	// Most common pipeline steps at the middle resolution.
+	fmt.Println("\npipeline steps seen in every segment (frequency = 100%):")
+	for _, e := range medium.Edges {
+		if e.Freq == 1 {
+			fmt.Printf("  %s -[%s]-> %s\n", medium.Nodes[e.From].Label, e.Rel, medium.Nodes[e.To].Label)
+		}
+	}
+}

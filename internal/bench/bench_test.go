@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigureRegistry: every advertised panel id resolves and unknown ids
+// do not.
+func TestFigureRegistry(t *testing.T) {
+	if len(IDs()) != 8 {
+		t.Fatalf("want 8 panels, got %v", IDs())
+	}
+	if _, ok := ByID("9z", ScaleSmall); ok {
+		t.Fatal("phantom figure")
+	}
+}
+
+// TestCRFiguresShape runs the cheap summarization panels end to end and
+// checks structural properties of the output: PgSum never worse than pSum,
+// all cells populated, render works.
+func TestCRFiguresShape(t *testing.T) {
+	for _, id := range []string{"5e", "5h"} {
+		fig, ok := ByID(id, ScaleSmall)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if len(fig.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		for _, r := range fig.Rows {
+			pg, ps := r.Cells["PgSum"], r.Cells["pSum"]
+			if pg == "" || ps == "" {
+				t.Fatalf("%s: empty cell at x=%s", id, r.X)
+			}
+			if pg > ps { // string compare works: same width %.3f in [0,1)
+				t.Errorf("%s x=%s: PgSum (%s) worse than pSum (%s)", id, r.X, pg, ps)
+			}
+		}
+		var buf bytes.Buffer
+		fig.Render(&buf)
+		if !strings.Contains(buf.String(), "Fig "+id) {
+			t.Fatalf("%s: render missing header", id)
+		}
+	}
+}
+
+// TestRuntimeFigureTiny runs a miniature Fig 5a-style measurement to cover
+// the timing path without heavy graphs.
+func TestRuntimeFigureTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime sweep takes ~20s")
+	}
+	fig := Fig5b(ScaleSmall)
+	if len(fig.Rows) != 6 {
+		t.Fatalf("want 6 skew points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			if r.Cells[s] == "" {
+				t.Fatalf("empty cell %s at %s", s, r.X)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package bitmap
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Roaring is a compressed bitmap in the style of RoaringBitmap (the paper's
+// Cbm configuration): the 32-bit key space is chunked by the high 16 bits;
+// each chunk is stored either as a sorted array of low 16-bit values (when
+// sparse) or as a dense 2^16-bit bitmap (when it holds more than
+// arrayMaxSize values). Random access is slower than the dense Bitset but
+// memory usage tracks the data.
+type Roaring struct {
+	keys       []uint16
+	containers []container
+	card       int
+}
+
+const arrayMaxSize = 4096
+
+type container interface {
+	add(x uint16) (container, bool)
+	contains(x uint16) bool
+	cardinality() int
+	iterate(base uint32, fn func(uint32) bool) bool
+	bytes() int
+}
+
+// --- array container ---
+
+type arrayContainer struct{ vals []uint16 }
+
+func (a *arrayContainer) add(x uint16) (container, bool) {
+	i := sort.Search(len(a.vals), func(i int) bool { return a.vals[i] >= x })
+	if i < len(a.vals) && a.vals[i] == x {
+		return a, false
+	}
+	if len(a.vals) >= arrayMaxSize {
+		b := a.toBitmap()
+		c, _ := b.add(x)
+		return c, true
+	}
+	a.vals = append(a.vals, 0)
+	copy(a.vals[i+1:], a.vals[i:])
+	a.vals[i] = x
+	return a, true
+}
+
+func (a *arrayContainer) contains(x uint16) bool {
+	i := sort.Search(len(a.vals), func(i int) bool { return a.vals[i] >= x })
+	return i < len(a.vals) && a.vals[i] == x
+}
+
+func (a *arrayContainer) cardinality() int { return len(a.vals) }
+
+func (a *arrayContainer) iterate(base uint32, fn func(uint32) bool) bool {
+	for _, v := range a.vals {
+		if !fn(base | uint32(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *arrayContainer) bytes() int { return 2 * cap(a.vals) }
+
+func (a *arrayContainer) toBitmap() *bitmapContainer {
+	b := &bitmapContainer{card: len(a.vals)}
+	for _, v := range a.vals {
+		b.words[v/wordBits] |= 1 << (v % wordBits)
+	}
+	return b
+}
+
+// --- bitmap container ---
+
+type bitmapContainer struct {
+	words [1024]uint64
+	card  int
+}
+
+func (b *bitmapContainer) add(x uint16) (container, bool) {
+	w, m := x/wordBits, uint64(1)<<(x%wordBits)
+	if b.words[w]&m != 0 {
+		return b, false
+	}
+	b.words[w] |= m
+	b.card++
+	return b, true
+}
+
+func (b *bitmapContainer) contains(x uint16) bool {
+	return b.words[x/wordBits]&(1<<(x%wordBits)) != 0
+}
+
+func (b *bitmapContainer) cardinality() int { return b.card }
+
+func (b *bitmapContainer) iterate(base uint32, fn func(uint32) bool) bool {
+	for wi, w := range b.words {
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			if !fn(base | uint32(wi*wordBits+t)) {
+				return false
+			}
+			w &= w - 1
+		}
+	}
+	return true
+}
+
+func (b *bitmapContainer) bytes() int { return 8192 }
+
+// --- roaring proper ---
+
+// NewRoaring returns an empty compressed bitmap. The capacity hint is
+// ignored (containers allocate on demand).
+func NewRoaring() *Roaring { return &Roaring{} }
+
+func (r *Roaring) findKey(key uint16) (int, bool) {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	return i, i < len(r.keys) && r.keys[i] == key
+}
+
+// Add inserts x, reporting whether it was newly added.
+func (r *Roaring) Add(x uint32) bool {
+	key, low := uint16(x>>16), uint16(x)
+	i, ok := r.findKey(key)
+	if !ok {
+		c := &arrayContainer{vals: []uint16{low}}
+		r.keys = append(r.keys, 0)
+		copy(r.keys[i+1:], r.keys[i:])
+		r.keys[i] = key
+		r.containers = append(r.containers, nil)
+		copy(r.containers[i+1:], r.containers[i:])
+		r.containers[i] = c
+		r.card++
+		return true
+	}
+	c, added := r.containers[i].add(low)
+	r.containers[i] = c
+	if added {
+		r.card++
+	}
+	return added
+}
+
+// Contains reports membership of x.
+func (r *Roaring) Contains(x uint32) bool {
+	i, ok := r.findKey(uint16(x >> 16))
+	return ok && r.containers[i].contains(uint16(x))
+}
+
+// Cardinality returns the number of elements.
+func (r *Roaring) Cardinality() int { return r.card }
+
+// Iterate visits elements in ascending order.
+func (r *Roaring) Iterate(fn func(uint32) bool) {
+	for i, key := range r.keys {
+		if !r.containers[i].iterate(uint32(key)<<16, fn) {
+			return
+		}
+	}
+}
+
+// DiffAddInto adds every element of r missing from other into other and
+// appends the new elements to out.
+func (r *Roaring) DiffAddInto(other Set, out []uint32) []uint32 {
+	r.Iterate(func(x uint32) bool {
+		if other.Add(x) {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Bytes estimates memory usage.
+func (r *Roaring) Bytes() int {
+	total := 2*cap(r.keys) + 16*cap(r.containers)
+	for _, c := range r.containers {
+		total += c.bytes()
+	}
+	return total
+}
+
+// ToSlice returns the elements in ascending order.
+func (r *Roaring) ToSlice() []uint32 {
+	out := make([]uint32, 0, r.card)
+	r.Iterate(func(x uint32) bool { out = append(out, x); return true })
+	return out
+}
+
+var _ Set = (*Roaring)(nil)
+
+// Factory constructs empty sets; the solvers take one so that the bitset /
+// roaring choice (paper Fig. 5a's "w CBM" variants) is a runtime knob.
+type Factory func(capacityHint int) Set
+
+// BitsetFactory builds dense bitsets.
+func BitsetFactory(n int) Set { return NewBitset(n) }
+
+// RoaringFactory builds compressed bitmaps.
+func RoaringFactory(int) Set { return NewRoaring() }

@@ -1,0 +1,191 @@
+// Package cflr implements context-free-language reachability (CFLR) over
+// property graphs: a context-free grammar representation, conversion to the
+// binary normal form CflrB requires, and the generic CflrB worklist solver
+// (paper Appendix B, Algorithm 1; Chaudhuri-style with fast sets).
+//
+// Terminals are resolved directly against graph adjacency: a terminal is an
+// edge label (optionally traversed inversely, the paper's U^-1 / G^-1), a
+// vertex label (a "self-loop" as the paper puts it for rules r3/r4/r7/r8),
+// or a concrete vertex token (the per-Vdst rule r0).
+package cflr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Symbol identifies a nonterminal within a grammar.
+type Symbol int32
+
+// TerminalKind distinguishes the three terminal flavors.
+type TerminalKind uint8
+
+// Terminal kinds.
+const (
+	// TermEdge matches traversing an edge with a given label.
+	TermEdge TerminalKind = iota
+	// TermVertexLabel matches "staying" on a vertex with a given label
+	// (a virtual self-loop).
+	TermVertexLabel
+	// TermVertexToken matches staying on one specific vertex.
+	TermVertexToken
+)
+
+// Terminal is a grammar terminal resolved against the graph.
+type Terminal struct {
+	Kind    TerminalKind
+	Label   graph.Label    // edge or vertex label (TermEdge, TermVertexLabel)
+	Inverse bool           // traverse the edge against its direction (TermEdge)
+	Vertex  graph.VertexID // concrete vertex (TermVertexToken)
+}
+
+// EdgeTerm builds an edge terminal.
+func EdgeTerm(l graph.Label, inverse bool) Terminal {
+	return Terminal{Kind: TermEdge, Label: l, Inverse: inverse}
+}
+
+// VertexLabelTerm builds a vertex-label self-loop terminal.
+func VertexLabelTerm(l graph.Label) Terminal {
+	return Terminal{Kind: TermVertexLabel, Label: l}
+}
+
+// VertexTokenTerm builds a concrete-vertex terminal.
+func VertexTokenTerm(v graph.VertexID) Terminal {
+	return Terminal{Kind: TermVertexToken, Vertex: v}
+}
+
+// RHSItem is one right-hand-side item: a terminal or a nonterminal.
+type RHSItem struct {
+	IsTerminal bool
+	T          Terminal
+	N          Symbol
+}
+
+// T wraps a terminal as an RHS item.
+func T(t Terminal) RHSItem { return RHSItem{IsTerminal: true, T: t} }
+
+// N wraps a nonterminal as an RHS item.
+func N(s Symbol) RHSItem { return RHSItem{N: s} }
+
+// Production is LHS -> RHS... (RHS non-empty; epsilon productions are not
+// supported, matching the paper's grammars).
+type Production struct {
+	LHS Symbol
+	RHS []RHSItem
+}
+
+// Grammar is a context-free grammar whose terminals are graph-resolved.
+type Grammar struct {
+	names []string
+	prods []Production
+	start Symbol
+}
+
+// NewGrammar returns an empty grammar.
+func NewGrammar() *Grammar { return &Grammar{} }
+
+// AddNonterminal registers a nonterminal and returns its symbol.
+func (g *Grammar) AddNonterminal(name string) Symbol {
+	g.names = append(g.names, name)
+	return Symbol(len(g.names) - 1)
+}
+
+// NumNonterminals returns the number of registered nonterminals.
+func (g *Grammar) NumNonterminals() int { return len(g.names) }
+
+// Name returns the display name of a nonterminal.
+func (g *Grammar) Name(s Symbol) string {
+	if int(s) < len(g.names) {
+		return g.names[s]
+	}
+	return fmt.Sprintf("N%d", s)
+}
+
+// SetStart sets the start symbol.
+func (g *Grammar) SetStart(s Symbol) { g.start = s }
+
+// Start returns the start symbol.
+func (g *Grammar) Start() Symbol { return g.start }
+
+// Productions returns the production list.
+func (g *Grammar) Productions() []Production { return g.prods }
+
+// Add appends a production LHS -> items.
+func (g *Grammar) Add(lhs Symbol, items ...RHSItem) {
+	if len(items) == 0 {
+		panic("cflr: epsilon productions are not supported")
+	}
+	g.prods = append(g.prods, Production{LHS: lhs, RHS: items})
+}
+
+// IsNormalForm reports whether every production has at most two RHS items.
+func (g *Grammar) IsNormalForm() bool {
+	for _, p := range g.prods {
+		if len(p.RHS) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize returns an equivalent grammar in binary normal form: every
+// production with more than two RHS items is broken into a left-to-right
+// chain of binary helper productions (the standard construction the paper
+// notes "introduces more worklist entries and misses grammar properties" —
+// which is exactly what SimProvAlg avoids).
+func (g *Grammar) Normalize() *Grammar {
+	out := &Grammar{names: append([]string(nil), g.names...), start: g.start}
+	helper := 0
+	for _, p := range g.prods {
+		if len(p.RHS) <= 2 {
+			out.prods = append(out.prods, Production{LHS: p.LHS, RHS: append([]RHSItem(nil), p.RHS...)})
+			continue
+		}
+		// LHS -> x1 x2 ... xm  becomes
+		// H1 -> x1 x2; H2 -> H1 x3; ...; LHS -> H_{m-2} xm
+		prev := p.RHS[0]
+		for i := 1; i < len(p.RHS); i++ {
+			var lhs Symbol
+			if i == len(p.RHS)-1 {
+				lhs = p.LHS
+			} else {
+				helper++
+				lhs = out.AddNonterminal(fmt.Sprintf("%s#%d", g.Name(p.LHS), helper))
+			}
+			out.prods = append(out.prods, Production{LHS: lhs, RHS: []RHSItem{prev, p.RHS[i]}})
+			prev = N(lhs)
+		}
+	}
+	return out
+}
+
+// String renders the grammar for debugging.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for _, p := range g.prods {
+		b.WriteString(g.Name(p.LHS))
+		b.WriteString(" ->")
+		for _, it := range p.RHS {
+			b.WriteByte(' ')
+			if it.IsTerminal {
+				switch it.T.Kind {
+				case TermEdge:
+					fmt.Fprintf(&b, "e%d", it.T.Label)
+					if it.T.Inverse {
+						b.WriteString("^-1")
+					}
+				case TermVertexLabel:
+					fmt.Fprintf(&b, "v%d", it.T.Label)
+				case TermVertexToken:
+					fmt.Fprintf(&b, "tok(%d)", it.T.Vertex)
+				}
+			} else {
+				b.WriteString(g.Name(it.N))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

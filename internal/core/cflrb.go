@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/cflr"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// CflrB baseline: run the generic subcubic CFLR solver on the SimProv
+// normal form (paper Fig. 6):
+//
+//	r0: Qd -> vj                    for each vj in Vdst
+//	r1: Lg -> G^-1 Qd | G^-1 Re     r5: Lu -> U^-1 Ra
+//	r2: Rg -> Lg G                  r6: Ru -> Lu U
+//	r3: La -> A Rg                  r7: Le -> E Ru
+//	r4: Ra -> La A                  r8: Re -> Le E
+//
+// with start symbol Re. The vertex labels A and E act as self-loop
+// terminals. Re corresponds to the rewritten grammar's Ee (fully wrapped)
+// and Ra to Aa, which is what the shared derivation-marking pass consumes.
+
+// simProvSymbols names the nonterminals of the normal form.
+type simProvSymbols struct {
+	Qd, Lg, Rg, La, Ra, Lu, Ru, Le, Re cflr.Symbol
+}
+
+// buildSimProvNormalForm constructs the Fig. 6 grammar for a destination set.
+func buildSimProvNormalForm(p *prov.Graph, dst []graph.VertexID) (*cflr.Grammar, simProvSymbols) {
+	g := cflr.NewGrammar()
+	var s simProvSymbols
+	s.Qd = g.AddNonterminal("Qd")
+	s.Lg = g.AddNonterminal("Lg")
+	s.Rg = g.AddNonterminal("Rg")
+	s.La = g.AddNonterminal("La")
+	s.Ra = g.AddNonterminal("Ra")
+	s.Lu = g.AddNonterminal("Lu")
+	s.Ru = g.AddNonterminal("Ru")
+	s.Le = g.AddNonterminal("Le")
+	s.Re = g.AddNonterminal("Re")
+
+	gLabel := p.RelLabel(prov.RelGen)
+	uLabel := p.RelLabel(prov.RelUsed)
+	aLabel := p.KindLabel(prov.KindActivity)
+	eLabel := p.KindLabel(prov.KindEntity)
+
+	for _, vj := range dst {
+		g.Add(s.Qd, cflr.T(cflr.VertexTokenTerm(vj)))
+	}
+	g.Add(s.Lg, cflr.T(cflr.EdgeTerm(gLabel, true)), cflr.N(s.Qd))
+	g.Add(s.Lg, cflr.T(cflr.EdgeTerm(gLabel, true)), cflr.N(s.Re))
+	g.Add(s.Rg, cflr.N(s.Lg), cflr.T(cflr.EdgeTerm(gLabel, false)))
+	g.Add(s.La, cflr.T(cflr.VertexLabelTerm(aLabel)), cflr.N(s.Rg))
+	g.Add(s.Ra, cflr.N(s.La), cflr.T(cflr.VertexLabelTerm(aLabel)))
+	g.Add(s.Lu, cflr.T(cflr.EdgeTerm(uLabel, true)), cflr.N(s.Ra))
+	g.Add(s.Ru, cflr.N(s.Lu), cflr.T(cflr.EdgeTerm(uLabel, false)))
+	g.Add(s.Le, cflr.T(cflr.VertexLabelTerm(eLabel)), cflr.N(s.Ru))
+	g.Add(s.Re, cflr.N(s.Le), cflr.T(cflr.VertexLabelTerm(eLabel)))
+	g.SetStart(s.Re)
+	return g, s
+}
+
+// cflrFacts adapts a cflr.Result to the shared factSource interface.
+type cflrFacts struct {
+	res  *cflr.Result
+	syms simProvSymbols
+	dst  map[graph.VertexID]bool
+}
+
+func (f *cflrFacts) hasEe(u, v graph.VertexID) bool {
+	if u == v && f.dst[u] {
+		return true // base fact Qd(vj, vj)
+	}
+	return f.res.Has(f.syms.Re, u, v)
+}
+
+func (f *cflrFacts) hasAa(u, v graph.VertexID) bool {
+	return f.res.Has(f.syms.Ra, u, v)
+}
+
+func (f *cflrFacts) eePartners(s graph.VertexID, fn func(graph.VertexID) bool) {
+	if f.dst[s] {
+		if !fn(s) {
+			return
+		}
+	}
+	if row := f.res.Row(f.syms.Re, s); row != nil {
+		row.Iterate(func(x uint32) bool { return fn(graph.VertexID(x)) })
+	}
+}
+
+// ErrUnsupportedConstraint is returned when the CflrB baseline is asked to
+// evaluate a property-match constrained query (supported only by the
+// SimProv-specific solvers).
+var ErrUnsupportedConstraint = errors.New("core: CflrB baseline does not support property-match constraints")
+
+// runCflrB evaluates the normal-form grammar with the generic solver.
+func (e *Engine) runCflrB(src, dst []graph.VertexID, ad *adjacency) (*cflrFacts, error) {
+	if e.opts.MatchActivityProp != "" || e.opts.MatchEntityProp != "" {
+		return nil, ErrUnsupportedConstraint
+	}
+	_ = src // the generic CFLR baseline cannot exploit source information
+	gr, syms := buildSimProvNormalForm(e.P, dst)
+	solver, err := cflr.NewSolver(e.P.PG(), gr, cflr.Options{
+		Sets:     e.opts.Sets,
+		MaxFacts: e.opts.MaxFacts,
+		VertexOK: func(v graph.VertexID) bool { return ad.vertexOK(v) },
+		EdgeOK:   func(eid graph.EdgeID) bool { return ad.edgeOK(eid) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.Solve()
+	if err != nil {
+		return nil, err
+	}
+	dstSet := make(map[graph.VertexID]bool, len(dst))
+	for _, v := range dst {
+		if ad.vertexOK(v) {
+			dstSet[v] = true
+		}
+	}
+	return &cflrFacts{res: res, syms: syms, dst: dstSet}, nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Vertex equivalence for PgSum (paper Sec. IV.A.1): two segment vertices
+// are equivalent under (K, Rk) when (a) their PROV kinds match, (b) their
+// K-projected property values match, and (c) their k-hop neighborhoods
+// within their segments are isomorphic w.r.t. kind and K-projected
+// properties.
+//
+// Condition (c) is computed by k rounds of color refinement (a vertex's
+// round-i color folds in the multiset of (relationship, direction,
+// neighbor color) over its segment edges), optionally sharpened by an
+// exact rooted-isomorphism check within refinement groups.
+
+// Aggregation is the paper's K = (K_E, K_A, K_U): the property types kept
+// per vertex kind; all other properties are ignored when comparing
+// vertices.
+type Aggregation struct {
+	Entity   []string
+	Activity []string
+	Agent    []string
+}
+
+// keysFor returns the kept property keys for a vertex kind.
+func (k Aggregation) keysFor(kind prov.Kind) []string {
+	switch kind {
+	case prov.KindEntity:
+		return k.Entity
+	case prov.KindActivity:
+		return k.Activity
+	case prov.KindAgent:
+		return k.Agent
+	}
+	return nil
+}
+
+// SumOptions configure PgSum.
+type SumOptions struct {
+	// K is the property aggregation.
+	K Aggregation
+	// TypeRadius is Rk's k: the neighborhood radius that defines a
+	// vertex's provenance type (0 = kind+properties only).
+	TypeRadius int
+	// ExactIso verifies refinement groups with an exact rooted-isomorphism
+	// check on the k-hop neighborhoods (refinement alone can conflate
+	// rare non-isomorphic neighborhoods).
+	ExactIso bool
+	// MaxIsoNodes caps the neighborhood size for the exact check
+	// (default 64; larger neighborhoods fall back to refinement colors).
+	MaxIsoNodes int
+	// MaxRounds bounds the merge loop (0 = until fixpoint).
+	MaxRounds int
+}
+
+// occRef identifies one vertex occurrence: segment index + vertex id.
+type occRef struct {
+	seg int
+	v   graph.VertexID
+}
+
+// segIndex provides local adjacency for one segment: only segment edges.
+type segIndex struct {
+	seg   *Segment
+	out   map[graph.VertexID][]graph.EdgeID
+	in    map[graph.VertexID][]graph.EdgeID
+	verts []graph.VertexID
+}
+
+func indexSegment(s *Segment) *segIndex {
+	si := &segIndex{
+		seg:   s,
+		out:   make(map[graph.VertexID][]graph.EdgeID),
+		in:    make(map[graph.VertexID][]graph.EdgeID),
+		verts: s.Vertices,
+	}
+	g := s.P.PG()
+	for _, e := range s.Edges {
+		si.out[g.Src(e)] = append(si.out[g.Src(e)], e)
+		si.in[g.Dst(e)] = append(si.in[g.Dst(e)], e)
+	}
+	return si
+}
+
+// baseColor returns the kind + aggregated-property signature of a vertex.
+func baseColor(p *prov.Graph, v graph.VertexID, k Aggregation) string {
+	kind := p.KindOf(v)
+	var b strings.Builder
+	b.WriteString(kind.String())
+	for _, key := range k.keysFor(kind) {
+		b.WriteByte('|')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(p.PG().VertexProp(v, key).AsString())
+	}
+	return b.String()
+}
+
+// classifier assigns provenance-type class ids to segment vertex
+// occurrences.
+type classifier struct {
+	opts SumOptions
+	segs []*segIndex
+
+	// color per occurrence, refined in rounds.
+	colors []map[graph.VertexID]int
+
+	// interning of color signatures.
+	colorIDs map[string]int
+	// display name of each class (base color of any member + type index).
+	classBase []string
+}
+
+func (c *classifier) intern(sig string) int {
+	if id, ok := c.colorIDs[sig]; ok {
+		return id
+	}
+	id := len(c.colorIDs)
+	c.colorIDs[sig] = id
+	return id
+}
+
+// classify computes the final class id of every occurrence across all
+// segments. The same class id means "mergeable candidates" per the
+// equivalence relation.
+func classify(segs []*Segment, opts SumOptions) *classifier {
+	c := &classifier{
+		opts:     opts,
+		segs:     make([]*segIndex, len(segs)),
+		colors:   make([]map[graph.VertexID]int, len(segs)),
+		colorIDs: make(map[string]int),
+	}
+	for i, s := range segs {
+		c.segs[i] = indexSegment(s)
+		c.colors[i] = make(map[graph.VertexID]int, len(s.Vertices))
+	}
+	var baseOf []string
+	// Round 0: kind + K-projected properties.
+	for i, si := range c.segs {
+		for _, v := range si.verts {
+			sig := baseColor(si.seg.P, v, opts.K)
+			id := c.intern(sig)
+			for id >= len(baseOf) {
+				baseOf = append(baseOf, "")
+			}
+			baseOf[id] = sig
+			c.colors[i][v] = id
+		}
+	}
+	// Refinement rounds 1..k.
+	for round := 0; round < opts.TypeRadius; round++ {
+		next := make([]map[graph.VertexID]int, len(c.segs))
+		newBase := make([]string, 0, len(baseOf))
+		newIDs := make(map[string]int)
+		internNext := func(sig, base string) int {
+			if id, ok := newIDs[sig]; ok {
+				return id
+			}
+			id := len(newIDs)
+			newIDs[sig] = id
+			newBase = append(newBase, base)
+			return id
+		}
+		for i, si := range c.segs {
+			next[i] = make(map[graph.VertexID]int, len(si.verts))
+			g := si.seg.P.PG()
+			for _, v := range si.verts {
+				parts := make([]string, 0, len(si.out[v])+len(si.in[v]))
+				for _, e := range si.out[v] {
+					parts = append(parts, fmt.Sprintf(">%d:%d", si.seg.P.RelOf(e), c.colors[i][g.Dst(e)]))
+				}
+				for _, e := range si.in[v] {
+					parts = append(parts, fmt.Sprintf("<%d:%d", si.seg.P.RelOf(e), c.colors[i][g.Src(e)]))
+				}
+				sort.Strings(parts)
+				cur := c.colors[i][v]
+				sig := fmt.Sprintf("%d;%s", cur, strings.Join(parts, ","))
+				next[i][v] = internNext(sig, baseOf[cur])
+			}
+		}
+		c.colors = next
+		baseOf = newBase
+		c.colorIDs = newIDs
+	}
+	c.classBase = baseOf
+	if opts.ExactIso && opts.TypeRadius > 0 {
+		c.splitByExactIso()
+	}
+	return c
+}
+
+// classOf returns the final class id of an occurrence.
+func (c *classifier) classOf(o occRef) int { return c.colors[o.seg][o.v] }
+
+// className returns a display name for a class: the base color plus a
+// provenance-type discriminator index (Fig. 2(e)'s "(t1)" / "(t2)").
+func (c *classifier) className(class int) string {
+	if class < len(c.classBase) && c.classBase[class] != "" {
+		return c.classBase[class]
+	}
+	return fmt.Sprintf("class%d", class)
+}
+
+// splitByExactIso refines color groups with exact rooted isomorphism of
+// k-hop neighborhoods: occurrences that share a refinement color but have
+// non-isomorphic neighborhoods receive fresh class ids.
+func (c *classifier) splitByExactIso() {
+	groups := make(map[int][]occRef)
+	for i, si := range c.segs {
+		for _, v := range si.verts {
+			cl := c.colors[i][v]
+			groups[cl] = append(groups[cl], occRef{seg: i, v: v})
+		}
+	}
+	maxNodes := c.opts.MaxIsoNodes
+	if maxNodes <= 0 {
+		maxNodes = 64
+	}
+	nextID := len(c.colorIDs)
+	classes := make([]int, 0, len(groups))
+	for cl := range groups {
+		classes = append(classes, cl)
+	}
+	sort.Ints(classes)
+	for _, cl := range classes {
+		members := groups[cl]
+		if len(members) < 2 {
+			continue
+		}
+		// Representative of each discovered sub-class, with its
+		// neighborhood.
+		type subclass struct {
+			hood *neighborhood
+			id   int
+		}
+		var subs []subclass
+		for _, m := range members {
+			h := c.extractNeighborhood(m, maxNodes)
+			if h == nil {
+				// Over-budget neighborhood: keep the refinement color.
+				continue
+			}
+			placed := false
+			for _, sc := range subs {
+				if isomorphic(h, sc.hood) {
+					c.colors[m.seg][m.v] = sc.id
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				id := cl
+				if len(subs) > 0 {
+					id = nextID
+					nextID++
+					for id >= len(c.classBase) {
+						c.classBase = append(c.classBase, "")
+					}
+					c.classBase[id] = c.classBase[cl]
+				}
+				subs = append(subs, subclass{hood: h, id: id})
+				c.colors[m.seg][m.v] = id
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// pathLanguage enumerates all path-label words up to maxLen edges in a
+// labeled digraph given as (node label, adjacency with edge labels). A word
+// is "class (rel class)*".
+func pathLanguage(labels []int, out [][][2]int, maxLen int) map[string]bool {
+	words := make(map[string]bool)
+	var dfs func(v int, sb []string, depth int)
+	dfs = func(v int, sb []string, depth int) {
+		words[strings.Join(sb, " ")] = true
+		if depth == maxLen {
+			return
+		}
+		for _, arc := range out[v] {
+			dfs(arc[0], append(sb, fmt.Sprint(arc[1]), fmt.Sprint(labels[arc[0]])), depth+1)
+		}
+	}
+	for v := range labels {
+		dfs(v, []string{fmt.Sprint(labels[v])}, 0)
+	}
+	return words
+}
+
+// psgGraph converts a Psg into (labels, adjacency) form.
+func psgGraph(p *core.Psg) ([]int, [][][2]int) {
+	labels := make([]int, len(p.Nodes))
+	out := make([][][2]int, len(p.Nodes))
+	for i, n := range p.Nodes {
+		labels[i] = n.Class
+	}
+	for _, e := range p.Edges {
+		out[e.From] = append(out[e.From], [2]int{e.To, int(e.Rel)})
+	}
+	return labels, out
+}
+
+// g0Graph reconstructs the class-labeled disjoint union of the segments,
+// reading each occurrence's class off the Psg node that absorbed it.
+func g0Graph(segs []*core.Segment, p *core.Psg) ([]int, [][][2]int) {
+	classOf := make(map[[2]int]int)
+	for _, n := range p.Nodes {
+		for _, m := range n.Members {
+			classOf[m] = n.Class
+		}
+	}
+	var labels []int
+	var out [][][2]int
+	idx := make(map[[2]int]int)
+	for si, s := range segs {
+		for _, v := range s.Vertices {
+			key := [2]int{si, int(v)}
+			idx[key] = len(labels)
+			labels = append(labels, classOf[key])
+			out = append(out, nil)
+		}
+	}
+	for si, s := range segs {
+		g := s.P.PG()
+		for _, e := range s.Edges {
+			f := idx[[2]int{si, int(g.Src(e))}]
+			t := idx[[2]int{si, int(g.Dst(e))}]
+			out[f] = append(out[f], [2]int{t, int(s.P.RelOf(e))})
+		}
+	}
+	return labels, out
+}
+
+func checkPsgInvariant(t *testing.T, name string, segs []*core.Segment, psg *core.Psg, maxLen int) {
+	t.Helper()
+	gl, ga := g0Graph(segs, psg)
+	pl, pa := psgGraph(psg)
+	want := pathLanguage(gl, ga, maxLen)
+	got := pathLanguage(pl, pa, maxLen)
+	for w := range want {
+		if !got[w] {
+			t.Errorf("%s: path word lost: %q", name, w)
+			return
+		}
+	}
+	for w := range got {
+		if !want[w] {
+			t.Errorf("%s: path word invented: %q", name, w)
+			return
+		}
+	}
+}
+
+func checkPsgDAG(t *testing.T, name string, psg *core.Psg) {
+	t.Helper()
+	n := len(psg.Nodes)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range psg.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, d := range adj[v] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != n {
+		t.Errorf("%s: Psg contains a cycle (%d of %d nodes in topo order)", name, seen, n)
+	}
+}
+
+// TestPsgInvariantOnSd checks the two halves of the Psg contract — no path
+// label lost, none invented — on segment sets of varying stability, plus
+// DAG-ness and a sane compaction ratio.
+func TestPsgInvariantOnSd(t *testing.T) {
+	alphas := []float64{0.025, 0.1, 0.5, 1.0}
+	if testing.Short() {
+		alphas = []float64{0.1, 1.0}
+	}
+	for _, alpha := range alphas {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("alpha=%g seed=%d", alpha, seed)
+			_, segs := gen.Sd(gen.SdConfig{Alpha: alpha, Activities: 8, Segments: 4, Seed: seed})
+			psg, err := core.Summarize(segs, gen.SdSumOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if cr := psg.CompactionRatio(); cr <= 0 || cr > 1 {
+				t.Errorf("%s: compaction ratio out of range: %v", name, cr)
+			}
+			checkPsgDAG(t, name, psg)
+			checkPsgInvariant(t, name, segs, psg, 6)
+		}
+	}
+}
+
+// TestPsgExactIsoInvariant re-runs the invariant with exact-isomorphism
+// provenance types and a larger radius.
+func TestPsgExactIsoInvariant(t *testing.T) {
+	_, segs := gen.Sd(gen.SdConfig{Alpha: 0.1, Activities: 8, Segments: 4, Seed: 9})
+	opts := gen.SdSumOptions()
+	opts.TypeRadius = 2
+	opts.ExactIso = true
+	psg, err := core.Summarize(segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPsgDAG(t, "exact-iso", psg)
+	checkPsgInvariant(t, "exact-iso", segs, psg, 6)
+}
+
+// TestPsgCompactsStablePipelines: segments drawn from a highly concentrated
+// transition matrix should compact substantially.
+func TestPsgCompactsStablePipelines(t *testing.T) {
+	_, segs := gen.Sd(gen.SdConfig{Alpha: 0.02, Activities: 12, Segments: 10, Seed: 2})
+	psg, err := core.Summarize(segs, gen.SdSumOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := psg.CompactionRatio(); cr > 0.8 {
+		t.Errorf("stable pipelines barely compacted: cr=%.3f", cr)
+	}
+}
+
+// TestPsgFrequencies: every edge frequency is in (0, 1], and an edge shared
+// by all segments gets frequency 1.
+func TestPsgFrequencies(t *testing.T) {
+	_, segs := gen.Sd(gen.SdConfig{Alpha: 0.05, Activities: 6, Segments: 5, Seed: 4})
+	psg, err := core.Summarize(segs, gen.SdSumOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psg.Edges) == 0 {
+		t.Fatal("summary has no edges")
+	}
+	for _, e := range psg.Edges {
+		if e.Freq <= 0 || e.Freq > 1 {
+			t.Errorf("edge frequency out of range: %+v", e)
+		}
+	}
+}
+
+// TestPsgMemberPartition: the Psg nodes partition the input occurrences.
+func TestPsgMemberPartition(t *testing.T) {
+	_, segs := gen.Sd(gen.SdConfig{Alpha: 0.1, Activities: 10, Segments: 6, Seed: 5})
+	psg, err := core.Summarize(segs, gen.SdSumOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int]bool)
+	total := 0
+	for _, n := range psg.Nodes {
+		if len(n.Members) == 0 {
+			t.Error("empty Psg node")
+		}
+		for _, m := range n.Members {
+			if seen[m] {
+				t.Errorf("occurrence %v in two Psg nodes", m)
+			}
+			seen[m] = true
+			total++
+		}
+	}
+	if total != psg.InputVertices {
+		t.Errorf("member count %d != input vertices %d", total, psg.InputVertices)
+	}
+	want := 0
+	for _, s := range segs {
+		want += len(s.Vertices)
+	}
+	if psg.InputVertices != want {
+		t.Errorf("InputVertices=%d, want %d", psg.InputVertices, want)
+	}
+	var _ graph.VertexID // keep import
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// PgSum evaluation (paper Sec. IV.B): initialize the provenance summary
+// graph Psg as g0, the class-labeled disjoint union of the input segments,
+// then repeatedly merge vertices under the Lemma 5 conditions —
+//
+//	(1) u 'sin  v  (mutual in-simulation),
+//	(2) u 'sout v  (mutual out-simulation),
+//	(3) u <=sin v and u <=sout v (both-way dominance),
+//
+// each of which guarantees no path label is added; merging never removes
+// paths, so the Psg invariant (identical path-label language) holds. A
+// cycle guard keeps the result a DAG as the Psg definition requires.
+
+// PsgNode is one summary vertex: an equivalence-class-labeled group of
+// segment vertex occurrences.
+type PsgNode struct {
+	// Class is the equivalence class id under (K, Rk).
+	Class int
+	// Label is a human-readable class name (kind, aggregated properties,
+	// and a provenance-type discriminator).
+	Label string
+	// Members lists the merged occurrences as (segment index, vertex id).
+	Members [][2]int
+}
+
+// PsgEdge is a summary edge annotated with its appearance frequency across
+// segments (paper's gamma).
+type PsgEdge struct {
+	From, To int
+	Rel      prov.Rel
+	Freq     float64
+}
+
+// Psg is the provenance summary graph.
+type Psg struct {
+	Nodes []PsgNode
+	Edges []PsgEdge
+	// InputVertices is the size of g0 (total vertex occurrences across the
+	// input segments), the denominator of the compaction ratio.
+	InputVertices int
+	// Segments is |S|.
+	Segments int
+	// Rounds is the number of merge rounds performed.
+	Rounds int
+}
+
+// CompactionRatio returns cr = |M| / |g0 vertices| (paper Sec. V); lower
+// is better.
+func (p *Psg) CompactionRatio() float64 {
+	if p.InputVertices == 0 {
+		return 1
+	}
+	return float64(len(p.Nodes)) / float64(p.InputVertices)
+}
+
+// origEdge is a segment edge lifted into occurrence space.
+type origEdge struct {
+	seg      int
+	from, to int // occurrence indices
+	rel      prov.Rel
+}
+
+// Summarize evaluates PgSum(S, K, Rk) and returns the summary graph.
+func Summarize(segs []*Segment, opts SumOptions) (*Psg, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("core: PgSum needs at least one segment")
+	}
+	cls := classify(segs, opts)
+
+	// Build g0: the disjoint union of the segments, labeled by class.
+	var (
+		labels  []int // per occurrence
+		occs    []occRef
+		edges   []origEdge
+		classNm = make(map[int]string)
+	)
+	for i, s := range segs {
+		occIdx := make(map[graph.VertexID]int, len(s.Vertices))
+		for _, v := range s.Vertices {
+			o := occRef{seg: i, v: v}
+			occIdx[v] = len(occs)
+			occs = append(occs, o)
+			cl := cls.classOf(o)
+			labels = append(labels, cl)
+			if _, ok := classNm[cl]; !ok {
+				classNm[cl] = cls.className(cl)
+			}
+		}
+		g := s.P.PG()
+		for _, e := range s.Edges {
+			edges = append(edges, origEdge{
+				seg:  i,
+				from: occIdx[g.Src(e)],
+				to:   occIdx[g.Dst(e)],
+				rel:  s.P.RelOf(e),
+			})
+		}
+	}
+	classNm = discriminate(classNm)
+
+	// nodeOf maps each occurrence to its current Psg node (dense ids).
+	n0 := len(occs)
+	nodeOf := make([]int, n0)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	cur := buildSumGraph(labels, nodeOf, n0, edges)
+
+	// Merge loop: one Lemma 5 condition per phase. Batching a single
+	// condition is sound (see mergePhase); mixing conditions in one batch
+	// can weave cycles through the quotient, so phases alternate with
+	// graph rebuilds until a full cycle makes no progress.
+	rounds := 0
+	for opts.MaxRounds == 0 || rounds < opts.MaxRounds {
+		progressed := false
+		for _, phase := range []mergeCondition{condInEquiv, condOutEquiv, condDominance} {
+			remap, numNew, changed := mergePhase(cur, phase)
+			if !changed {
+				continue
+			}
+			progressed = true
+			for i := range nodeOf {
+				nodeOf[i] = remap[nodeOf[i]]
+			}
+			cur = buildSumGraph(labels, nodeOf, numNew, edges)
+		}
+		rounds++
+		if !progressed {
+			break
+		}
+	}
+
+	return assemblePsg(cur, nodeOf, labels, occs, segs, edges, classNm, rounds), nil
+}
+
+// discriminate appends (t1), (t2), ... to class names that share a base
+// name (same kind + aggregated properties, different provenance type).
+func discriminate(names map[int]string) map[int]string {
+	byBase := make(map[string][]int)
+	for cl, base := range names {
+		byBase[base] = append(byBase[base], cl)
+	}
+	out := make(map[int]string, len(names))
+	for base, cls := range byBase {
+		if len(cls) == 1 {
+			out[cls[0]] = base
+			continue
+		}
+		sort.Ints(cls)
+		for i, cl := range cls {
+			out[cl] = fmt.Sprintf("%s (t%d)", base, i+1)
+		}
+	}
+	return out
+}
+
+// buildSumGraph materializes the quotient graph over numNodes nodes: node
+// labels come from member occurrences; arcs deduplicate parallel (rel, to)
+// pairs (parallel identical edges do not change the path-label language).
+func buildSumGraph(labels, nodeOf []int, numNodes int, edges []origEdge) *sumGraph {
+	g := &sumGraph{
+		label: make([]int, numNodes),
+		out:   make([][]halfArc, numNodes),
+		in:    make([][]halfArc, numNodes),
+	}
+	for i, nd := range nodeOf {
+		g.label[nd] = labels[i]
+	}
+	seen := make(map[int64]bool, len(edges))
+	for _, e := range edges {
+		f, t := nodeOf[e.from], nodeOf[e.to]
+		key := int64(f)<<34 | int64(t)<<4 | int64(e.rel)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.out[f] = append(g.out[f], halfArc{to: t, rel: uint8(e.rel)})
+		g.in[t] = append(g.in[t], halfArc{to: f, rel: uint8(e.rel)})
+	}
+	return g
+}
+
+// mergeCondition selects which Lemma 5 condition a phase applies.
+type mergeCondition int
+
+const (
+	// condInEquiv merges mutual in-simulation classes (condition 1). A
+	// whole batch is sound: members share their in-path-label language, so
+	// no merge adds labels, and a cycle among merged groups would force
+	// the longest-in-path length to strictly increase around the cycle
+	// while being constant within each group — impossible in a DAG.
+	condInEquiv mergeCondition = iota
+	// condOutEquiv is the dual (condition 2).
+	condOutEquiv
+	// condDominance merges u into a node that both in- and out-dominates
+	// it (condition 3); sound per-pair, but cycles can appear across
+	// independent merges, so this phase maintains quotient reachability
+	// and skips cycle-forming merges.
+	condDominance
+)
+
+// mergePhase computes simulations on the current graph and applies one
+// batch of merges under a single Lemma 5 condition. It returns a remap
+// from old node ids to new dense node ids, the new node count, and whether
+// anything merged.
+func mergePhase(g *sumGraph, cond mergeCondition) (remap []int, numNew int, changed bool) {
+	n := g.numNodes()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merged := false
+
+	switch cond {
+	case condInEquiv, condOutEquiv:
+		sim := simulation(g, cond == condOutEquiv)
+		for _, class := range simEquivClasses(sim) {
+			for _, m := range class[1:] {
+				parent[find(m)] = find(class[0])
+				merged = true
+			}
+		}
+	case condDominance:
+		simIn := simulation(g, false)
+		simOut := simulation(g, true)
+		guard := newReachGuard(g)
+		for u := 0; u < n; u++ {
+			simIn[u].Iterate(func(x uint32) bool {
+				v := int(x)
+				if v == u || !simOut[u].Contains(x) {
+					return true
+				}
+				if find(v) == find(u) {
+					return true
+				}
+				if guard.wouldCycle(find(u), find(v)) {
+					return true // try another dominator
+				}
+				guard.union(find(u), find(v))
+				parent[find(u)] = find(v)
+				merged = true
+				return false
+			})
+		}
+	}
+	if !merged {
+		return nil, n, false
+	}
+	remap = make([]int, n)
+	dense := make(map[int]int, n)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		id, ok := dense[r]
+		if !ok {
+			id = len(dense)
+			dense[r] = id
+		}
+		remap[v] = id
+	}
+	return remap, len(dense), true
+}
+
+// reachGuard tracks reachability in the evolving quotient graph so the
+// dominance phase never merges two order-related groups. Groups are keyed
+// by their union-find representative at call time.
+type reachGuard struct {
+	members []*bitmap.Bitset // group -> original nodes inside
+	desc    []*bitmap.Bitset // group -> original nodes reachable from it
+	anc     []*bitmap.Bitset // group -> original nodes that reach it
+	owner   []int            // original node -> current group rep
+}
+
+func newReachGuard(g *sumGraph) *reachGuard {
+	n := g.numNodes()
+	rg := &reachGuard{
+		members: make([]*bitmap.Bitset, n),
+		desc:    make([]*bitmap.Bitset, n),
+		anc:     make([]*bitmap.Bitset, n),
+		owner:   make([]int, n),
+	}
+	// Topological order for transitive closure.
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	var topo []int
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+		rg.owner[v] = v
+		rg.members[v] = bitmap.NewBitset(n)
+		rg.members[v].Add(uint32(v))
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		topo = append(topo, v)
+		for _, arc := range g.out[v] {
+			indeg[arc.to]--
+			if indeg[arc.to] == 0 {
+				queue = append(queue, arc.to)
+			}
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		s := bitmap.NewBitset(n)
+		for _, arc := range g.out[v] {
+			s.Add(uint32(arc.to))
+			s.UnionWith(rg.desc[arc.to])
+		}
+		rg.desc[v] = s
+	}
+	for _, v := range topo {
+		s := bitmap.NewBitset(n)
+		for _, arc := range g.in[v] {
+			s.Add(uint32(arc.to))
+			s.UnionWith(rg.anc[arc.to])
+		}
+		rg.anc[v] = s
+	}
+	return rg
+}
+
+// wouldCycle reports whether merging groups a and b would create a cycle:
+// some member of one group reaches a member of the other.
+func (rg *reachGuard) wouldCycle(a, b int) bool {
+	return rg.desc[a].Intersects(rg.members[b]) || rg.desc[b].Intersects(rg.members[a])
+}
+
+// union merges group a into group b and propagates the combined
+// reachability to all ancestor and descendant groups (a merge makes
+// everything above either group reach everything below both).
+func (rg *reachGuard) union(a, b int) {
+	rg.members[b].UnionWith(rg.members[a])
+	rg.desc[b].UnionWith(rg.desc[a])
+	rg.anc[b].UnionWith(rg.anc[a])
+	rg.members[a] = rg.members[b]
+	rg.desc[a] = rg.desc[b]
+	rg.anc[a] = rg.anc[b]
+	// Propagate: every node that reaches the merged group now reaches the
+	// group and its combined descendants; every node reachable from it
+	// gains the group and its combined ancestors.
+	descPlus := rg.desc[b].Clone()
+	descPlus.UnionWith(rg.members[b])
+	ancPlus := rg.anc[b].Clone()
+	ancPlus.UnionWith(rg.members[b])
+	rg.anc[b].Iterate(func(x uint32) bool {
+		rg.desc[rg.owner[x]].UnionWith(descPlus)
+		return true
+	})
+	rg.desc[b].Iterate(func(x uint32) bool {
+		rg.anc[rg.owner[x]].UnionWith(ancPlus)
+		return true
+	})
+	rg.members[b].Iterate(func(x uint32) bool {
+		rg.owner[x] = b
+		return true
+	})
+}
+
+// assemblePsg builds the final output structure.
+func assemblePsg(g *sumGraph, nodeOf, labels []int, occs []occRef, segs []*Segment, edges []origEdge, classNm map[int]string, rounds int) *Psg {
+	psg := &Psg{
+		Nodes:         make([]PsgNode, g.numNodes()),
+		InputVertices: len(occs),
+		Segments:      len(segs),
+		Rounds:        rounds,
+	}
+	for i, o := range occs {
+		pn := &psg.Nodes[nodeOf[i]]
+		if pn.Members == nil {
+			pn.Class = labels[i]
+			pn.Label = classNm[labels[i]]
+		}
+		pn.Members = append(pn.Members, [2]int{o.seg, int(o.v)})
+	}
+	type edgeKey struct {
+		from, to int
+		rel      prov.Rel
+	}
+	bySeg := make(map[edgeKey]map[int]bool)
+	for _, e := range edges {
+		k := edgeKey{from: nodeOf[e.from], to: nodeOf[e.to], rel: e.rel}
+		if bySeg[k] == nil {
+			bySeg[k] = make(map[int]bool)
+		}
+		bySeg[k][e.seg] = true
+	}
+	keys := make([]edgeKey, 0, len(bySeg))
+	for k := range bySeg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		if keys[i].to != keys[j].to {
+			return keys[i].to < keys[j].to
+		}
+		return keys[i].rel < keys[j].rel
+	})
+	for _, k := range keys {
+		psg.Edges = append(psg.Edges, PsgEdge{
+			From: k.from,
+			To:   k.to,
+			Rel:  k.rel,
+			Freq: float64(len(bySeg[k])) / float64(len(segs)),
+		})
+	}
+	return psg
+}

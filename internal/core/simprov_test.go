@@ -1,0 +1,231 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// bruteForceVC2 computes VC2 directly from the language semantics: both
+// halves of an L(SimProv) path are ancestry paths from some vj in Vdst with
+// identical label sequences, which on a plain-labeled PROV graph means
+// identical activity-depth. So for each vj and each depth m at which a
+// source entity is reachable by an alternating G/U ancestry path, VC2
+// contains every vertex on every alternating ancestry path of exactly m
+// activity-steps from vj.
+func bruteForceVC2(p *prov.Graph, src, dst []graph.VertexID, maxDepth int) map[graph.VertexID]bool {
+	srcSet := make(map[graph.VertexID]bool)
+	for _, s := range src {
+		srcSet[s] = true
+	}
+	out := make(map[graph.VertexID]bool)
+	for _, vj := range dst {
+		type pathRec struct{ verts []graph.VertexID }
+		byDepth := make([][]pathRec, maxDepth+1)
+		var walk func(cur graph.VertexID, depth int, verts []graph.VertexID)
+		walk = func(cur graph.VertexID, depth int, verts []graph.VertexID) {
+			byDepth[depth] = append(byDepth[depth], pathRec{verts: append([]graph.VertexID(nil), verts...)})
+			if depth == maxDepth {
+				return
+			}
+			var acts []graph.VertexID
+			acts = p.GeneratorsOf(cur, acts)
+			for _, a := range acts {
+				var ins []graph.VertexID
+				ins = p.InputsOf(a, ins)
+				for _, e := range ins {
+					walk(e, depth+1, append(append(append([]graph.VertexID(nil), verts...), a), e))
+				}
+			}
+		}
+		walk(vj, 0, []graph.VertexID{vj})
+		for m := 0; m <= maxDepth; m++ {
+			hasSrc := false
+			for _, rec := range byDepth[m] {
+				if srcSet[rec.verts[len(rec.verts)-1]] {
+					hasSrc = true
+					break
+				}
+			}
+			if !hasSrc {
+				continue
+			}
+			for _, rec := range byDepth[m] {
+				for _, v := range rec.verts {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func setFromBitset(b *bitmap.Bitset) map[graph.VertexID]bool {
+	out := make(map[graph.VertexID]bool)
+	b.Iterate(func(x uint32) bool {
+		out[graph.VertexID(x)] = true
+		return true
+	})
+	return out
+}
+
+func sameVertexSet(t *testing.T, name string, got, want map[graph.VertexID]bool) {
+	t.Helper()
+	for v := range want {
+		if !got[v] {
+			t.Errorf("%s: missing vertex %d", name, v)
+		}
+	}
+	for v := range got {
+		if !want[v] {
+			t.Errorf("%s: extra vertex %d", name, v)
+		}
+	}
+}
+
+func vc2With(t *testing.T, p *prov.Graph, opts core.Options, q core.Query) map[graph.VertexID]bool {
+	t.Helper()
+	e := core.NewEngine(p, opts)
+	set, err := e.SimilarPaths(q)
+	if err != nil {
+		t.Fatalf("%v: %v", opts.Solver, err)
+	}
+	return setFromBitset(set)
+}
+
+// TestSolverEquivalenceOnPd cross-checks SimProvTst, SimProvAlg and CflrB
+// against each other and against the brute-force semantics on a family of
+// small random lifecycle graphs.
+func TestSolverEquivalenceOnPd(t *testing.T) {
+	depthCap := 14
+	sizes := []int{40, 80, 150}
+	if testing.Short() {
+		sizes = []int{40, 80}
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, n := range sizes {
+			p := gen.Pd(gen.PdConfig{N: n, Seed: seed})
+			if err := p.Validate(); err != nil {
+				t.Fatalf("seed=%d n=%d: invalid graph: %v", seed, n, err)
+			}
+			src, dst := gen.DefaultQuery(p)
+			q := core.Query{Src: src, Dst: dst}
+
+			want := bruteForceVC2(p, src, dst, depthCap)
+			for _, kind := range []core.SolverKind{core.SolverTst, core.SolverAlg, core.SolverCflrB} {
+				got := vc2With(t, p, core.Options{Solver: kind}, q)
+				sameVertexSet(t, fmt.Sprintf("seed=%d n=%d %v", seed, n, kind), got, want)
+			}
+		}
+	}
+}
+
+// TestSolverEquivalenceRoaring checks the Cbm (compressed bitmap) variants
+// give identical answers.
+func TestSolverEquivalenceRoaring(t *testing.T) {
+	p := gen.Pd(gen.PdConfig{N: 150, Seed: 3})
+	src, dst := gen.DefaultQuery(p)
+	q := core.Query{Src: src, Dst: dst}
+	want := vc2With(t, p, core.Options{Solver: core.SolverAlg}, q)
+	for _, kind := range []core.SolverKind{core.SolverAlg, core.SolverCflrB} {
+		got := vc2With(t, p, core.Options{Solver: kind, Sets: bitmap.RoaringFactory}, q)
+		sameVertexSet(t, fmt.Sprintf("%v+cbm", kind), got, want)
+	}
+}
+
+// TestEarlyStopAndPruningPreserveAnswers verifies the optimizations are
+// semantics-preserving (they only skip work that cannot contribute).
+func TestEarlyStopAndPruningPreserveAnswers(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := gen.Pd(gen.PdConfig{N: 120, Seed: seed})
+		// Sources in the middle make early stopping actually fire.
+		src, dst := gen.QueryAtRank(p, 50)
+		q := core.Query{Src: src, Dst: dst}
+		want := vc2With(t, p, core.Options{Solver: core.SolverAlg, NoEarlyStop: true, NoPruning: true}, q)
+		got := vc2With(t, p, core.Options{Solver: core.SolverAlg}, q)
+		sameVertexSet(t, "alg early-stop", got, want)
+		gotTst := vc2With(t, p, core.Options{Solver: core.SolverTst}, q)
+		sameVertexSet(t, "tst early-stop", gotTst, want)
+		gotTstNo := vc2With(t, p, core.Options{Solver: core.SolverTst, NoEarlyStop: true}, q)
+		sameVertexSet(t, "tst no-early-stop", gotTstNo, want)
+	}
+}
+
+// TestBoundaryExclusionConsistency checks that all solvers agree under
+// vertex-exclusion boundaries.
+func TestBoundaryExclusionConsistency(t *testing.T) {
+	p := gen.Pd(gen.PdConfig{N: 120, Seed: 7})
+	src, dst := gen.DefaultQuery(p)
+	q := core.Query{
+		Src: src,
+		Dst: dst,
+		Boundary: core.Boundary{
+			VertexFilters: []core.VertexFilter{func(p *prov.Graph, v graph.VertexID) bool {
+				return v%7 != 3
+			}},
+		},
+	}
+	want := vc2With(t, p, core.Options{Solver: core.SolverAlg}, q)
+	for _, kind := range []core.SolverKind{core.SolverTst, core.SolverCflrB} {
+		got := vc2With(t, p, core.Options{Solver: kind}, q)
+		sameVertexSet(t, fmt.Sprintf("boundary %v", kind), got, want)
+	}
+}
+
+// TestPropertyConstrainedMatch checks the sigma(a_i,p)=sigma(a_j,p)
+// generalization: SimProvAlg and SimProvTst must agree, and constrained
+// results must be a subset of unconstrained ones.
+func TestPropertyConstrainedMatch(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		p := gen.Pd(gen.PdConfig{N: 150, Seed: seed})
+		src, dst := gen.DefaultQuery(p)
+		q := core.Query{Src: src, Dst: dst}
+		optsA := core.Options{Solver: core.SolverAlg, MatchActivityProp: prov.PropCommand}
+		optsT := core.Options{Solver: core.SolverTst, MatchActivityProp: prov.PropCommand}
+		got := vc2With(t, p, optsA, q)
+		gotT := vc2With(t, p, optsT, q)
+		sameVertexSet(t, "prop-match alg vs tst", gotT, got)
+
+		unconstrained := vc2With(t, p, core.Options{Solver: core.SolverAlg}, q)
+		for v := range got {
+			if !unconstrained[v] {
+				t.Errorf("seed=%d: constrained result has vertex %d outside unconstrained set", seed, v)
+			}
+		}
+	}
+}
+
+// TestSegmentAssemblyAcrossSolvers checks the full PgSeg result (all four
+// induction rules) is identical for every solver.
+func TestSegmentAssemblyAcrossSolvers(t *testing.T) {
+	p := gen.Pd(gen.PdConfig{N: 200, Seed: 11})
+	src, dst := gen.DefaultQuery(p)
+	q := core.Query{Src: src, Dst: dst}
+	ref, err := core.NewEngine(p, core.Options{Solver: core.SolverTst}).Segment(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Vertices) == 0 || len(ref.Edges) == 0 {
+		t.Fatalf("reference segment empty: %d vertices %d edges", len(ref.Vertices), len(ref.Edges))
+	}
+	for _, kind := range []core.SolverKind{core.SolverAlg, core.SolverCflrB} {
+		seg, err := core.NewEngine(p, core.Options{Solver: kind}).Segment(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seg.Vertices) != len(ref.Vertices) || len(seg.Edges) != len(ref.Edges) {
+			t.Fatalf("%v: segment differs: %d/%d vertices, %d/%d edges",
+				kind, len(seg.Vertices), len(ref.Vertices), len(seg.Edges), len(ref.Edges))
+		}
+		for i, v := range seg.Vertices {
+			if ref.Vertices[i] != v {
+				t.Fatalf("%v: vertex list differs at %d", kind, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"hash/maphash"
+
+	"repro/internal/bitmap"
+	"repro/internal/graph"
+)
+
+// SimProvTst (paper Sec. III.B.2, "Transitive property"): evaluating each
+// destination vertex vj separately makes Ee and Aa transitive, so each
+// iteration level is a single equivalence class:
+//
+//	[e]_0     = {vj}
+//	[a]_{m+1} = generators of [e]_m      (one step down in order-of-being)
+//	[e]_{m+1} = inputs of [a]_{m+1}
+//
+// All pairs within [e]_m are Ee facts; a level whose class contains a
+// source entity is an answer level, and VC2 receives every vertex on an
+// ancestry path of exactly that length from vj (computed by a backward
+// prune over the levels). Runtime is O(|G| + |U|) per destination.
+//
+// When a property-match constraint is active, path labels are no longer
+// determined by length alone, so each level fans out into one class per
+// property-value signature; classes form chains via parent pointers and the
+// default case degenerates to a single chain.
+
+type tstClass struct {
+	sig    uint64
+	level  int
+	ents   []graph.VertexID // [e]_level (deduplicated)
+	acts   []graph.VertexID // [a]_level that produced ents (nil at level 0)
+	parent *tstClass
+}
+
+var tstSeed = maphash.MakeSeed()
+
+func chainSig(parent uint64, part string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(tstSeed)
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(parent >> (8 * i))
+	}
+	h.Write(b[:])
+	h.WriteString(part)
+	return h.Sum64()
+}
+
+// runSimProvTst computes VC2 for all destinations.
+func (e *Engine) runSimProvTst(src, dst []graph.VertexID, ad *adjacency) (*bitmap.Bitset, error) {
+	out := bitmap.NewBitset(e.P.NumVertices())
+	srcSet := make(map[graph.VertexID]bool, len(src))
+	minSrc := int64(1) << 62
+	for _, s := range src {
+		srcSet[s] = true
+		if o := e.P.Order(s); o < minSrc {
+			minSrc = o
+		}
+	}
+	// Plain queries on temporally monotone graphs take the word-parallel
+	// depth/height-set path (tstbitset.go); property-constrained queries —
+	// where path labels are no longer determined by depth — and graphs
+	// with out-of-order ingestion use the explicit class-chain iteration.
+	useBitset := e.opts.MatchActivityProp == "" && e.opts.MatchEntityProp == "" && e.ancestryMonotone()
+	for _, vj := range dst {
+		if !ad.vertexOK(vj) {
+			continue
+		}
+		if useBitset {
+			e.tstSingleBitset(vj, srcSet, ad, out)
+		} else {
+			e.tstSingle(vj, srcSet, minSrc, ad, out)
+		}
+	}
+	return out, nil
+}
+
+// tstSingle runs the level iteration for one destination and accumulates
+// VC2 vertices into out.
+func (e *Engine) tstSingle(vj graph.VertexID, srcSet map[graph.VertexID]bool, minSrc int64, ad *adjacency, out *bitmap.Bitset) {
+	g := e.P.PG()
+	matchAKey := e.opts.MatchActivityProp
+	matchEKey := e.opts.MatchEntityProp
+	earlyStop := !e.opts.NoEarlyStop
+
+	root := &tstClass{ents: []graph.VertexID{vj}}
+	cur := []*tstClass{root}
+	if srcSet[vj] {
+		e.tstCollect(root, ad, out)
+	}
+
+	// Levels strictly descend in maximum order-of-being, so the iteration
+	// terminates within NumVertices levels on any temporally consistent
+	// graph; the cap is defensive against inconsistent PropTime overrides.
+	maxLevel := e.P.NumVertices() + 1
+	var bufA, bufE []graph.VertexID
+	for len(cur) > 0 && cur[0].level < maxLevel {
+		var next []*tstClass
+		for _, c := range cur {
+			// [a]_{m+1}: generators of the class entities, grouped by the
+			// activity property signature when the constraint is active.
+			bufA = bufA[:0]
+			for _, en := range c.ents {
+				bufA = ad.generatorsOf(en, bufA)
+			}
+			actGroups := groupByProp(g, dedupVertices(bufA), matchAKey)
+			for _, ag := range actGroups {
+				// [e]_{m+1}: inputs of the group's activities, grouped by
+				// the entity property signature.
+				bufE = bufE[:0]
+				for _, a := range ag.members {
+					bufE = ad.inputsOf(a, bufE)
+				}
+				entGroups := groupByProp(g, dedupVertices(bufE), matchEKey)
+				for _, eg := range entGroups {
+					nc := &tstClass{
+						sig:    chainSig(chainSig(c.sig, ag.key), eg.key),
+						level:  c.level + 1,
+						ents:   eg.members,
+						acts:   ag.members,
+						parent: c,
+					}
+					// Answer level: the class contains a source entity.
+					for _, en := range nc.ents {
+						if srcSet[en] {
+							e.tstCollect(nc, ad, out)
+							break
+						}
+					}
+					// Temporal early stop: a class whose members are all
+					// strictly older than every source can never produce an
+					// answer level deeper in its own chain.
+					if earlyStop && e.tstAllOld(nc, minSrc) {
+						continue
+					}
+					next = append(next, nc)
+				}
+			}
+		}
+		cur = next
+	}
+}
+
+func (e *Engine) tstAllOld(c *tstClass, minSrc int64) bool {
+	for _, v := range c.ents {
+		if e.P.Order(v) >= minSrc {
+			return false
+		}
+	}
+	for _, v := range c.acts {
+		if e.P.Order(v) >= minSrc {
+			return false
+		}
+	}
+	return true
+}
+
+type propGroup struct {
+	key     string
+	members []graph.VertexID
+}
+
+// groupByProp partitions vertices by the value of a property; an empty key
+// yields a single group.
+func groupByProp(g *graph.Graph, vs []graph.VertexID, key string) []propGroup {
+	if key == "" {
+		if len(vs) == 0 {
+			return nil
+		}
+		return []propGroup{{members: vs}}
+	}
+	byVal := make(map[string][]graph.VertexID)
+	var order []string
+	for _, v := range vs {
+		val := g.VertexProp(v, key).AsString()
+		if _, ok := byVal[val]; !ok {
+			order = append(order, val)
+		}
+		byVal[val] = append(byVal[val], v)
+	}
+	out := make([]propGroup, 0, len(order))
+	for _, val := range order {
+		out = append(out, propGroup{key: val, members: byVal[val]})
+	}
+	return out
+}
+
+// tstCollect performs the backward prune for an answer class at level m:
+// every entity of the class is the endpoint of a valid length-m ancestry
+// path from vj; walking down the chain keeps exactly the activities and
+// entities that extend to level m.
+func (e *Engine) tstCollect(c *tstClass, ad *adjacency, out *bitmap.Bitset) {
+	// Xe starts as the full answer-level class.
+	xe := make(map[graph.VertexID]bool, len(c.ents))
+	for _, en := range c.ents {
+		xe[en] = true
+		out.Add(uint32(en))
+	}
+	var buf []graph.VertexID
+	for walk := c; walk.level > 0; walk = walk.parent {
+		// Keep activities with at least one kept input.
+		var keptActs []graph.VertexID
+		for _, a := range walk.acts {
+			buf = ad.inputsOf(a, buf[:0])
+			for _, en := range buf {
+				if xe[en] {
+					keptActs = append(keptActs, a)
+					out.Add(uint32(a))
+					break
+				}
+			}
+		}
+		// Keep parent entities generated by a kept activity.
+		parentEnts := make(map[graph.VertexID]bool, len(walk.parent.ents))
+		for _, en := range walk.parent.ents {
+			parentEnts[en] = true
+		}
+		nxt := make(map[graph.VertexID]bool)
+		for _, a := range keptActs {
+			buf = ad.generatedBy(a, buf[:0])
+			for _, en := range buf {
+				if parentEnts[en] {
+					nxt[en] = true
+					out.Add(uint32(en))
+				}
+			}
+		}
+		xe = nxt
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/bitmap"
+)
+
+// Simulation preorders on the working summary graph (paper Sec. IV.B):
+// u <=sout v ("v out-simulates u") iff labels match and every labeled child
+// of u is out-simulated by some equally-labeled-edge child of v; <=sin is
+// the same over parents. Simulation approximates trace dominance: u <=sout
+// v implies every out-path label of u is an out-path label of v, which is
+// what Lemma 5's merge conditions need.
+
+// sumGraph is the mutable working graph PgSum merges over: nodes carry a
+// class label; arcs carry the PROV relationship and are deduplicated.
+type sumGraph struct {
+	label []int
+	out   [][]halfArc
+	in    [][]halfArc
+}
+
+func (g *sumGraph) numNodes() int { return len(g.label) }
+
+// simulation computes sim[u] = the set of v with u <= v, over children
+// (forward=true, i.e. <=sout) or parents (forward=false, i.e. <=sin),
+// using a fixpoint refinement with a change worklist.
+func simulation(g *sumGraph, forward bool) []*bitmap.Bitset {
+	n := g.numNodes()
+	succ, pred := g.out, g.in
+	if !forward {
+		succ, pred = g.in, g.out
+	}
+
+	// Group nodes by label for initialization.
+	byLabel := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		byLabel[g.label[v]] = append(byLabel[g.label[v]], v)
+	}
+	sim := make([]*bitmap.Bitset, n)
+	for v := 0; v < n; v++ {
+		s := bitmap.NewBitset(n)
+		for _, u := range byLabel[g.label[v]] {
+			s.Add(uint32(u))
+		}
+		sim[v] = s
+	}
+
+	// check reports whether v still simulates u.
+	check := func(u, v int) bool {
+		for _, arc := range succ[u] {
+			found := false
+			for _, varc := range succ[v] {
+				if varc.rel == arc.rel && sim[arc.to].Contains(uint32(varc.to)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Fixpoint: when sim(c) shrinks, only pairs (u, v) with u a
+	// predecessor of c need rechecking.
+	inQueue := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		queue = append(queue, v)
+		inQueue[v] = true
+	}
+	var removals []uint32
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[c] = false
+
+		// Recheck every candidate pair (u, v) where u is a predecessor of
+		// c (u's successor c constrains who can simulate u).
+		for _, parc := range pred[c] {
+			u := parc.to
+			removals = removals[:0]
+			sim[u].Iterate(func(x uint32) bool {
+				v := int(x)
+				if v != u && !check(u, v) {
+					removals = append(removals, x)
+				}
+				return true
+			})
+			if len(removals) == 0 {
+				continue
+			}
+			for _, x := range removals {
+				sim[u].Remove(x)
+			}
+			if !inQueue[u] {
+				queue = append(queue, u)
+				inQueue[u] = true
+			}
+		}
+	}
+	return sim
+}
+
+// simEquivClasses partitions nodes into mutual-simulation equivalence
+// classes; singleton classes are omitted.
+func simEquivClasses(sim []*bitmap.Bitset) [][]int {
+	n := len(sim)
+	assigned := make([]bool, n)
+	var classes [][]int
+	for u := 0; u < n; u++ {
+		if assigned[u] {
+			continue
+		}
+		assigned[u] = true
+		members := []int{u}
+		sim[u].Iterate(func(x uint32) bool {
+			v := int(x)
+			if v > u && !assigned[v] && sim[v].Contains(uint32(u)) {
+				assigned[v] = true
+				members = append(members, v)
+			}
+			return true
+		})
+		if len(members) > 1 {
+			classes = append(classes, members)
+		}
+	}
+	return classes
+}

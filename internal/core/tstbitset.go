@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmap"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Bitset formulation of SimProvTst for plain (non-property-constrained)
+// queries. On a PROV graph with plain labels, a path's word is determined
+// by its activity-depth, so per destination vj the whole computation
+// reduces to per-vertex DEPTH sets and HEIGHT sets over [0, maxDepth]:
+//
+//	D(v) = { m : an alternating ancestry path of m activity-steps runs
+//	            from vj to v }
+//	H(e) = { h : an alternating ancestry path of h activity-steps starts
+//	            at entity e }
+//
+// A level m is an answer level iff m is in D(src) for some source; a vertex
+// is in VC2 for answer level m iff some split i + h = m has i in D(v) and
+// h in its continuation set. Both set families are computed in two linear
+// sweeps over the (temporally monotone) vertex order with word-parallel
+// shifts, giving the near-linear behavior Theorem 2 promises — the
+// explicit per-level equivalence-class iteration in simprovtst.go remains
+// for property-constrained queries, where labels are no longer determined
+// by depth.
+
+// bitvec is a fixed-width bit vector over depths.
+type bitvec []uint64
+
+func newBitvec(bitsN int) bitvec { return make(bitvec, (bitsN+63)/64) }
+
+func (b bitvec) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitvec) get(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(i%64)) != 0
+}
+
+func (b bitvec) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// orInto dst |= src.
+func orInto(dst, src bitvec) {
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+// orShift1Into dst |= (src << 1).
+func orShift1Into(dst, src bitvec) {
+	carry := uint64(0)
+	for i, w := range src {
+		dst[i] |= (w << 1) | carry
+		carry = w >> 63
+	}
+}
+
+// shr returns b >> n (new vector).
+func (b bitvec) shr(n int) bitvec {
+	out := make(bitvec, len(b))
+	wordShift, bitShift := n/64, uint(n%64)
+	for i := range out {
+		j := i + wordShift
+		if j >= len(b) {
+			break
+		}
+		out[i] = b[j] >> bitShift
+		if bitShift > 0 && j+1 < len(b) {
+			out[i] |= b[j+1] << (64 - bitShift)
+		}
+	}
+	return out
+}
+
+// intersects reports whether a AND b is non-zero.
+func (b bitvec) intersects(o bitvec) bool {
+	for i, w := range b {
+		if i < len(o) && w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maxBit returns the highest set bit (or -1).
+func (b bitvec) maxBit() int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(b[i])
+		}
+	}
+	return -1
+}
+
+// ancestryMonotone reports whether every ancestry edge points from a newer
+// vertex to a strictly older one (true for ingestion-ordered provenance);
+// the bitset solver relies on this for its single-sweep propagation.
+func (e *Engine) ancestryMonotone() bool {
+	g := e.P.PG()
+	uL, gL := e.P.RelLabel(prov.RelUsed), e.P.RelLabel(prov.RelGen)
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		id := graph.EdgeID(eid)
+		l := g.EdgeLabel(id)
+		if (l == uL || l == gL) && g.Src(id) <= g.Dst(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// tstSingleBitset runs the depth/height-set algorithm for one destination,
+// accumulating VC2 vertices into out.
+func (e *Engine) tstSingleBitset(vj graph.VertexID, srcSet map[graph.VertexID]bool, ad *adjacency, out *bitmap.Bitset) {
+	// Depth cap: each level strictly descends by at least one activity and
+	// one entity id, so levels beyond (id(vj) - minSrcId)/2 + 1 cannot
+	// contain a source. Without early stopping fall back to the longest
+	// possible alternation.
+	minSrcID := int64(1) << 62
+	for s := range srcSet {
+		if int64(s) < minSrcID {
+			minSrcID = int64(s)
+		}
+	}
+	nAct := len(e.P.Activities())
+	maxD := nAct + 1
+	if !e.opts.NoEarlyStop {
+		if gap := int(int64(vj) - minSrcID); gap >= 0 && gap/2+2 < maxD {
+			maxD = gap/2 + 2
+		} else if gap < 0 {
+			maxD = 1
+		}
+	}
+	width := maxD + 2
+
+	depth := make(map[graph.VertexID]bitvec)
+	depth[vj] = newBitvec(width)
+	depth[vj].set(0)
+
+	// Downward sweep (decreasing ids): propagate depth sets to ancestors.
+	// Reached vertices are collected in decreasing id order for the height
+	// sweep afterwards.
+	reached := []graph.VertexID{vj}
+	var buf []graph.VertexID
+	// Iterate in decreasing id order using a simple index scan over the
+	// reached frontier: because ancestry edges strictly decrease ids, a
+	// vertex's final depth set is complete by the time the scan reaches it
+	// if we process candidates ordered by id. We maintain a bucket queue
+	// keyed by id.
+	pending := bitmap.NewBitset(int(vj) + 1)
+	pending.Add(uint32(vj))
+	for cur := int(vj); cur >= 0; cur-- {
+		if !pending.Contains(uint32(cur)) {
+			continue
+		}
+		v := graph.VertexID(cur)
+		dv := depth[v]
+		if e.P.IsKind(v, prov.KindEntity) {
+			// [a]_{m+1} via generators.
+			buf = ad.generatorsOf(v, buf[:0])
+			for _, a := range buf {
+				da := depth[a]
+				if da == nil {
+					da = newBitvec(width)
+					depth[a] = da
+					pending.Add(uint32(a))
+					reached = append(reached, a)
+				}
+				orShift1Into(da, dv)
+			}
+		} else {
+			// [e]_{m} via inputs (no depth increment: the activity carries
+			// the incremented depth).
+			buf = ad.inputsOf(v, buf[:0])
+			for _, in := range buf {
+				di := depth[in]
+				if di == nil {
+					di = newBitvec(width)
+					depth[in] = di
+					pending.Add(uint32(in))
+					reached = append(reached, in)
+				}
+				orInto(di, dv)
+			}
+		}
+	}
+
+	// Trim depth bits beyond maxD (shifts may have spilled one position).
+	// Valid answer levels.
+	var answers bitvec
+	for s := range srcSet {
+		if d := depth[s]; d != nil {
+			if answers == nil {
+				answers = newBitvec(width)
+			}
+			orInto(answers, d)
+		}
+	}
+	if answers == nil || answers.empty() {
+		return
+	}
+	var levels []int
+	for m := 0; m <= maxD+1; m++ {
+		if answers.get(m) {
+			levels = append(levels, m)
+		}
+	}
+
+	// Upward sweep (increasing ids over reached vertices): continuation
+	// sets. For an entity e: C(e) = {0} | union over generators a of
+	// (C'(a)+1) ... but expressed bottom-up we compute H (height) sets:
+	// H(e) = {0} | union_{a in generators(e)} (H'(a)),
+	// H'(a) = union_{e' in inputs(a)} (H(e') + 1).
+	// Since generators/inputs have SMALLER ids, an increasing-id sweep
+	// sees dependencies first.
+	height := make(map[graph.VertexID]bitvec, len(reached))
+	// reached was appended in decreasing-id discovery order but not
+	// necessarily sorted; sort via bitset iteration.
+	reachSet := bitmap.NewBitset(int(vj) + 1)
+	for _, v := range reached {
+		reachSet.Add(uint32(v))
+	}
+	reachSet.Iterate(func(x uint32) bool {
+		v := graph.VertexID(x)
+		hv := newBitvec(width)
+		if e.P.IsKind(v, prov.KindEntity) {
+			hv.set(0)
+			buf = ad.generatorsOf(v, buf[:0])
+			for _, a := range buf {
+				if ha := height[a]; ha != nil {
+					orInto(hv, ha)
+				}
+			}
+		} else {
+			buf = ad.inputsOf(v, buf[:0])
+			for _, in := range buf {
+				if he := height[in]; he != nil {
+					orShift1Into(hv, he)
+				}
+			}
+		}
+		height[v] = hv
+		return true
+	})
+
+	// Collection: v is on an exact-length-m path iff some i+h = m with
+	// i in D(v) and h in C(v), where C(entity) = H(entity) and
+	// C(activity) = union over inputs H(input) = H'(activity) >> 1.
+	maxM := levels[len(levels)-1]
+	reachSet.Iterate(func(x uint32) bool {
+		v := graph.VertexID(x)
+		dv := depth[v]
+		cv := height[v]
+		if !e.P.IsKind(v, prov.KindEntity) {
+			cv = cv.shr(1)
+		}
+		// Reverse cv over [0, maxM]: rev.get(j) == cv.get(maxM - j); then
+		// exists i: dv[i] && cv[m-i]  <=>  dv AND (rev >> (maxM - m)) != 0.
+		rev := newBitvec(width)
+		for h := 0; h <= maxM; h++ {
+			if cv.get(h) {
+				rev.set(maxM - h)
+			}
+		}
+		for _, m := range levels {
+			if dv.intersects(rev.shr(maxM - m)) {
+				out.Add(uint32(v))
+				break
+			}
+		}
+		return true
+	})
+}

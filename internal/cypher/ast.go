@@ -1,0 +1,115 @@
+package cypher
+
+// AST for the supported Cypher subset.
+
+// Query is a sequence of reading clauses ending in RETURN.
+type Query struct {
+	Clauses []Clause
+	Return  []Expr
+}
+
+// Clause is a MATCH (+ optional WHERE) or a WITH projection.
+type Clause interface{ clause() }
+
+// MatchClause is MATCH pattern[, pattern...] [WHERE expr].
+type MatchClause struct {
+	Patterns []PathPattern
+	Where    Expr
+}
+
+// WithClause is WITH var[, var...]; only plain variable projection is
+// supported.
+type WithClause struct {
+	Vars []string
+}
+
+func (MatchClause) clause() {}
+func (WithClause) clause()  {}
+
+// PathPattern is an optionally named chain node-rel-node-rel-...-node.
+type PathPattern struct {
+	PathVar string // "" when anonymous
+	Nodes   []NodePattern
+	Rels    []RelPattern // len(Nodes)-1
+}
+
+// NodePattern is (var:Label) with both parts optional.
+type NodePattern struct {
+	Var   string
+	Label string // "" = any
+}
+
+// Direction of a relationship pattern relative to the textual order.
+type Direction int
+
+// Relationship directions.
+const (
+	DirRight Direction = iota // -[..]-> : edges go left-to-right
+	DirLeft                   // <-[..]- : edges go right-to-left
+	DirBoth                   // -[..]-  : either direction
+)
+
+// RelPattern is a relationship with optional type alternation and
+// variable-length modifier.
+type RelPattern struct {
+	Var      string
+	Types    []string // empty = any
+	Dir      Direction
+	VarLen   bool
+	MinHops  int // valid when VarLen (default 1)
+	MaxHops  int // 0 = unbounded
+	Explicit bool
+}
+
+// Expr is a boolean/value expression.
+type Expr interface{ expr() }
+
+// BinaryExpr covers AND, OR, =, <>, IN.
+type BinaryExpr struct {
+	Op   string // "AND", "OR", "=", "<>", "IN"
+	L, R Expr
+}
+
+// NotExpr is NOT e.
+type NotExpr struct{ E Expr }
+
+// VarExpr references a bound variable.
+type VarExpr struct{ Name string }
+
+// NumberExpr is an integer literal.
+type NumberExpr struct{ Value int64 }
+
+// StringExpr is a string literal.
+type StringExpr struct{ Value string }
+
+// ListExpr is [e1, e2, ...].
+type ListExpr struct{ Items []Expr }
+
+// IndexExpr is e[i].
+type IndexExpr struct {
+	E     Expr
+	Index Expr
+}
+
+// CallExpr is fn(args...): id, labels, type, length, nodes, relationships.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// ExtractExpr is extract(v IN list | body).
+type ExtractExpr struct {
+	Var  string
+	List Expr
+	Body Expr
+}
+
+func (BinaryExpr) expr()  {}
+func (NotExpr) expr()     {}
+func (VarExpr) expr()     {}
+func (NumberExpr) expr()  {}
+func (StringExpr) expr()  {}
+func (ListExpr) expr()    {}
+func (IndexExpr) expr()   {}
+func (CallExpr) expr()    {}
+func (ExtractExpr) expr() {}

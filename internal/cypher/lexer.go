@@ -1,0 +1,177 @@
+// Package cypher implements a small subset of the Cypher query language —
+// enough to express and execute the paper's handcrafted Query 1 (Sec.
+// III.B.2) — over the property graph store. It exists as the Neo4j baseline
+// of Fig. 5(a): the evaluator materializes every binding of each path
+// variable and joins clause outputs, which is exponential in path length
+// times average degree, exactly the plan shape the paper reports for Neo4j.
+//
+// Supported surface:
+//
+//	MATCH p = (a:E)<-[:U|G*]-(b:E), (x)-[:S]->(y) ...
+//	WHERE id(a) IN [1, 2] AND extract(n IN nodes(p) | labels(n)) = ...
+//	WITH p, a
+//	MATCH ... WHERE ...
+//	RETURN p, id(a)
+//
+// with functions id, labels, type, length, nodes, relationships, extract.
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokColon    // :
+	tokComma    // ,
+	tokPipe     // |
+	tokStar     // *
+	tokEq       // =
+	tokNeq      // <>
+	tokDash     // -
+	tokLArrow   // <-
+	tokRArrow   // ->
+	tokDotDot   // ..
+	tokBar      // | inside extract
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the query text.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '[':
+			l.emit(tokLBracket, "[")
+		case c == ']':
+			l.emit(tokRBracket, "]")
+		case c == ':':
+			l.emit(tokColon, ":")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '|':
+			l.emit(tokPipe, "|")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '=':
+			l.emit(tokEq, "=")
+		case c == '-':
+			if l.peekAt(1) == '>' {
+				l.emitN(tokRArrow, "->", 2)
+			} else {
+				l.emit(tokDash, "-")
+			}
+		case c == '<':
+			if l.peekAt(1) == '-' {
+				l.emitN(tokLArrow, "<-", 2)
+			} else if l.peekAt(1) == '>' {
+				l.emitN(tokNeq, "<>", 2)
+			} else {
+				return nil, fmt.Errorf("cypher: unexpected '<' at %d", l.pos)
+			}
+		case c == '.':
+			if l.peekAt(1) == '.' {
+				l.emitN(tokDotDot, "..", 2)
+			} else {
+				return nil, fmt.Errorf("cypher: unexpected '.' at %d", l.pos)
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("cypher: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokenKind, text string) { l.emitN(k, text, 1) }
+
+func (l *lexer) emitN(k tokenKind, text string, n int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += n
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		b.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("cypher: unterminated string at %d", start)
+	}
+	l.pos++
+	l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos]))) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+// keyword matching is case-insensitive.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,438 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Recursive-descent parser for the supported subset.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKw(kw string) bool { return isKeyword(p.cur(), kw) }
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s", what)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("cypher: parse error at offset %d (near %q): %s", t.pos, t.text, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for {
+		switch {
+		case p.atKw("match"):
+			p.next()
+			mc, err := p.parseMatch()
+			if err != nil {
+				return nil, err
+			}
+			q.Clauses = append(q.Clauses, mc)
+		case p.atKw("with"):
+			p.next()
+			wc := WithClause{}
+			for {
+				t, err := p.expect(tokIdent, "variable")
+				if err != nil {
+					return nil, err
+				}
+				wc.Vars = append(wc.Vars, t.text)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			q.Clauses = append(q.Clauses, wc)
+		case p.atKw("return"):
+			p.next()
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				q.Return = append(q.Return, e)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			return q, nil
+		default:
+			return nil, p.errf("expected MATCH, WITH or RETURN")
+		}
+	}
+}
+
+func (p *parser) parseMatch() (MatchClause, error) {
+	mc := MatchClause{}
+	for {
+		pat, err := p.parsePathPattern()
+		if err != nil {
+			return mc, err
+		}
+		mc.Patterns = append(mc.Patterns, pat)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if p.atKw("where") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return mc, err
+		}
+		mc.Where = e
+	}
+	return mc, nil
+}
+
+func (p *parser) parsePathPattern() (PathPattern, error) {
+	pat := PathPattern{}
+	// Optional "p =" prefix.
+	if p.at(tokIdent) && p.toks[p.pos+1].kind == tokEq &&
+		!isKeyword(p.cur(), "where") {
+		pat.PathVar = p.next().text
+		p.next() // =
+	}
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return pat, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for p.at(tokDash) || p.at(tokLArrow) {
+		rel, err := p.parseRelPattern()
+		if err != nil {
+			return pat, err
+		}
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return pat, err
+		}
+		pat.Rels = append(pat.Rels, rel)
+		pat.Nodes = append(pat.Nodes, n)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	np := NodePattern{}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return np, err
+	}
+	if p.at(tokIdent) {
+		np.Var = p.next().text
+	}
+	if p.at(tokColon) {
+		p.next()
+		t, err := p.expect(tokIdent, "node label")
+		if err != nil {
+			return np, err
+		}
+		np.Label = t.text
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return np, err
+	}
+	return np, nil
+}
+
+// parseRelPattern parses <-[spec]- , -[spec]-> or -[spec]-.
+func (p *parser) parseRelPattern() (RelPattern, error) {
+	rp := RelPattern{MinHops: 1}
+	leftArrow := false
+	if p.at(tokLArrow) {
+		leftArrow = true
+		p.next()
+	} else if _, err := p.expect(tokDash, "'-'"); err != nil {
+		return rp, err
+	}
+	if p.at(tokLBracket) {
+		p.next()
+		rp.Explicit = true
+		if p.at(tokIdent) {
+			rp.Var = p.next().text
+		}
+		if p.at(tokColon) {
+			p.next()
+			for {
+				t, err := p.expect(tokIdent, "relationship type")
+				if err != nil {
+					return rp, err
+				}
+				rp.Types = append(rp.Types, strings.ToUpper(t.text))
+				if !p.at(tokPipe) {
+					break
+				}
+				p.next()
+				// allow ":TYPE" after | as some dialects write it
+				if p.at(tokColon) {
+					p.next()
+				}
+			}
+		}
+		if p.at(tokStar) {
+			p.next()
+			rp.VarLen = true
+			if p.at(tokNumber) {
+				n, _ := strconv.Atoi(p.next().text)
+				rp.MinHops = n
+				rp.MaxHops = n
+			}
+			if p.at(tokDotDot) {
+				p.next()
+				rp.MaxHops = 0
+				if p.at(tokNumber) {
+					n, _ := strconv.Atoi(p.next().text)
+					rp.MaxHops = n
+				}
+			}
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return rp, err
+		}
+	}
+	if leftArrow {
+		rp.Dir = DirLeft
+		if _, err := p.expect(tokDash, "'-'"); err != nil {
+			return rp, err
+		}
+	} else {
+		if p.at(tokRArrow) {
+			p.next()
+			rp.Dir = DirRight
+		} else if p.at(tokDash) {
+			p.next()
+			rp.Dir = DirBoth
+		} else {
+			return rp, p.errf("expected '->' or '-'")
+		}
+	}
+	return rp, nil
+}
+
+// Expression precedence: OR < AND < NOT < comparison < postfix < primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("and") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKw("not") {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tokEq):
+		p.next()
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: "=", L: l, R: r}, nil
+	case p.at(tokNeq):
+		p.next()
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: "<>", L: l, R: r}, nil
+	case p.atKw("in"):
+		p.next()
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: "IN", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokLBracket) {
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		e = IndexExpr{E: e, Index: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return NumberExpr{Value: v}, nil
+	case p.at(tokString):
+		return StringExpr{Value: p.next().text}, nil
+	case p.at(tokLBracket):
+		p.next()
+		le := ListExpr{}
+		if !p.at(tokRBracket) {
+			for {
+				item, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				le.Items = append(le.Items, item)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return le, nil
+	case p.at(tokLParen):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.atKw("extract"):
+		p.next()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokIdent, "extract variable")
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKw("in") {
+			return nil, p.errf("expected IN in extract")
+		}
+		p.next()
+		list, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPipe, "'|'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return ExtractExpr{Var: v.text, List: list, Body: body}, nil
+	case p.at(tokIdent):
+		t := p.next()
+		if p.at(tokLParen) {
+			p.next()
+			call := CallExpr{Fn: strings.ToLower(t.text)}
+			if !p.at(tokRParen) {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.at(tokComma) {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return VarExpr{Name: t.text}, nil
+	}
+	return nil, p.errf("expected expression")
+}

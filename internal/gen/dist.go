@@ -1,0 +1,155 @@
+// Package gen implements the paper's two synthetic workload generators
+// (Sec. V, "Dataset Description"):
+//
+//   - Pd: lifecycle provenance graphs for collaborative analytics projects
+//     (Zipf-skewed worker rates, Poisson activity input/output sizes,
+//     Zipf-skewed input selection over the reverse order of being);
+//
+//   - Sd: sets of conceptually similar segments drawn from a Markov chain
+//     whose transition rows follow a symmetric Dirichlet prior.
+//
+// All sampling is deterministic given a seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Poisson samples a Poisson-distributed count with mean lambda (Knuth's
+// method; adequate for the small means the generators use).
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // overflow guard for absurd lambda
+		}
+	}
+}
+
+// Gamma samples from Gamma(shape, 1) using Marsaglia-Tsang, with Johnk's
+// boost for shape < 1.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples a k-dimensional symmetric Dirichlet(alpha) vector.
+func Dirichlet(rng *rand.Rand, k int, alpha float64) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = Gamma(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Extremely concentrated prior: all mass on one state.
+		out[rng.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Categorical samples an index from a probability vector.
+func Categorical(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// ZipfRank samples ranks 1..n with P(r) proportional to r^-s over a
+// growing domain: the cumulative weights are shared across draws because
+// the weight of rank r does not depend on which item currently holds the
+// rank (paper: input entities are picked at their rank in the reverse
+// order of being).
+type ZipfRank struct {
+	s   float64
+	cum []float64 // cum[r] = sum_{1..r} r^-s; cum[0] = 0
+}
+
+// NewZipfRank prepares a rank sampler for skew s supporting domains up to
+// maxN.
+func NewZipfRank(s float64, maxN int) *ZipfRank {
+	z := &ZipfRank{s: s, cum: make([]float64, maxN+1)}
+	for r := 1; r <= maxN; r++ {
+		z.cum[r] = z.cum[r-1] + math.Pow(float64(r), -s)
+	}
+	return z
+}
+
+// Sample draws a rank in [1, n]; n must not exceed the prepared maximum.
+func (z *ZipfRank) Sample(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n >= len(z.cum) {
+		n = len(z.cum) - 1
+	}
+	u := rng.Float64() * z.cum[n]
+	// Smallest r with cum[r] >= u.
+	r := sort.SearchFloat64s(z.cum[1:n+1], u) + 1
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// ZipfChoice samples an index in [0, n) with P(i) proportional to
+// (i+1)^-s (used for the fixed-size agent pool with work-rate skew sw).
+type ZipfChoice struct{ ranks *ZipfRank }
+
+// NewZipfChoice prepares a fixed-domain Zipf sampler.
+func NewZipfChoice(s float64, n int) *ZipfChoice {
+	return &ZipfChoice{ranks: NewZipfRank(s, n)}
+}
+
+// Sample draws an index in [0, n).
+func (z *ZipfChoice) Sample(rng *rand.Rand, n int) int {
+	return z.ranks.Sample(rng, n) - 1
+}

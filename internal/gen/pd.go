@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// PdConfig parameterizes the lifecycle provenance graph generator
+// (paper Sec. V(a)). Zero-valued fields take the paper defaults.
+type PdConfig struct {
+	// N is the target total vertex count (entities + activities + agents).
+	N int
+	// WorkerSkew is sw, the Zipf skew of the agents' work rates
+	// (default 1.2).
+	WorkerSkew float64
+	// LambdaIn is lambda_i, the Poisson mean of extra activity inputs
+	// (each activity uses 1+m entities; default 2).
+	LambdaIn float64
+	// LambdaOut is lambda_o, the Poisson mean of extra activity outputs
+	// (default 2).
+	LambdaOut float64
+	// SelectSkew is se, the Zipf skew for picking input entities at their
+	// rank in the reverse order of being (default 1.5).
+	SelectSkew float64
+	// NewVersionProb is the probability that an output entity is a new
+	// version of an existing artifact (adds a wasDerivedFrom edge;
+	// default 0.6).
+	NewVersionProb float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c PdConfig) withDefaults() PdConfig {
+	if c.WorkerSkew == 0 {
+		c.WorkerSkew = 1.2
+	}
+	if c.LambdaIn == 0 {
+		c.LambdaIn = 2
+	}
+	if c.LambdaOut == 0 {
+		c.LambdaOut = 2
+	}
+	if c.SelectSkew == 0 {
+		c.SelectSkew = 1.5
+	}
+	if c.NewVersionProb == 0 {
+		c.NewVersionProb = 0.6
+	}
+	if c.N < 10 {
+		c.N = 10
+	}
+	return c
+}
+
+// commandPool is the activity vocabulary; commands double as the property
+// used by the paper's property-constrained SimProv extension.
+var commandPool = []string{"train", "preprocess", "split", "evaluate", "plot", "merge", "clean", "tune"}
+
+// Pd generates a synthetic collaborative-lifecycle provenance graph with
+// about cfg.N vertices.
+func Pd(cfg PdConfig) *prov.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := prov.New()
+
+	numAgents := int(math.Floor(math.Log(float64(cfg.N))))
+	if numAgents < 1 {
+		numAgents = 1
+	}
+	agents := make([]graph.VertexID, numAgents)
+	for i := range agents {
+		agents[i] = p.NewAgent(fmt.Sprintf("member%d", i))
+	}
+	workerPick := NewZipfChoice(cfg.WorkerSkew, numAgents)
+
+	numActivities := int(float64(cfg.N) / (2 + cfg.LambdaOut))
+	maxEntities := cfg.N + int(cfg.LambdaOut+2)*4
+	rankPick := NewZipfRank(cfg.SelectSkew, maxEntities)
+
+	type artifact struct {
+		name    string
+		lastVer graph.VertexID
+		version int
+	}
+	var artifacts []artifact
+	var entities []graph.VertexID
+
+	newEntity := func(gen graph.VertexID, hasGen bool) graph.VertexID {
+		var e graph.VertexID
+		if len(artifacts) > 0 && rng.Float64() < cfg.NewVersionProb {
+			ai := rng.Intn(len(artifacts))
+			artifacts[ai].version++
+			e = p.NewEntity(fmt.Sprintf("%s-v%d", artifacts[ai].name, artifacts[ai].version))
+			p.PG().SetVertexProp(e, "filename", graph.String(artifacts[ai].name))
+			p.PG().SetVertexProp(e, prov.PropVersion, graph.Int(int64(artifacts[ai].version)))
+			if hasGen {
+				p.WasGeneratedBy(e, gen)
+			}
+			p.WasDerivedFrom(e, artifacts[ai].lastVer)
+			artifacts[ai].lastVer = e
+		} else {
+			name := fmt.Sprintf("artifact%d", len(artifacts))
+			e = p.NewEntity(name + "-v1")
+			p.PG().SetVertexProp(e, "filename", graph.String(name))
+			p.PG().SetVertexProp(e, prov.PropVersion, graph.Int(1))
+			if hasGen {
+				p.WasGeneratedBy(e, gen)
+			}
+			artifacts = append(artifacts, artifact{name: name, lastVer: e, version: 1})
+		}
+		entities = append(entities, e)
+		return e
+	}
+
+	// Seed entities: imported datasets attributed to agents.
+	numSeeds := 1 + int(cfg.LambdaIn)
+	for i := 0; i < numSeeds; i++ {
+		e := newEntity(0, false)
+		p.PG().SetVertexProp(e, "url", graph.String(fmt.Sprintf("http://data.example/%d", i)))
+		p.WasAttributedTo(e, agents[workerPick.Sample(rng, numAgents)])
+	}
+
+	for act := 0; act < numActivities && p.NumVertices() < cfg.N; act++ {
+		cmd := commandPool[rng.Intn(len(commandPool))]
+		a := p.NewActivity(cmd)
+		p.PG().SetVertexProp(a, prov.PropCommand, graph.String(cmd))
+		p.PG().SetVertexProp(a, "options", graph.String(fmt.Sprintf("-p%d", rng.Intn(4))))
+		p.WasAssociatedWith(a, agents[workerPick.Sample(rng, numAgents)])
+
+		// Inputs: 1+m entities picked by Zipf rank over reverse order of
+		// being (rank 1 = most recent).
+		m := 1 + Poisson(rng, cfg.LambdaIn)
+		picked := make(map[graph.VertexID]bool, m)
+		for len(picked) < m && len(picked) < len(entities) {
+			rank := rankPick.Sample(rng, len(entities))
+			e := entities[len(entities)-rank]
+			if !picked[e] {
+				picked[e] = true
+				p.Used(a, e)
+			}
+		}
+		// Outputs: 1+n fresh entities.
+		n := 1 + Poisson(rng, cfg.LambdaOut)
+		for i := 0; i < n; i++ {
+			newEntity(a, true)
+		}
+	}
+	return p
+}
+
+// DefaultQuery returns the paper's "most challenging" PgSeg query on a Pd
+// graph: the first two entities as sources, the last two as destinations.
+func DefaultQuery(p *prov.Graph) (src, dst []graph.VertexID) {
+	ents := p.Entities()
+	if len(ents) < 4 {
+		return ents[:1], ents[len(ents)-1:]
+	}
+	return []graph.VertexID{ents[0], ents[1]}, []graph.VertexID{ents[len(ents)-2], ents[len(ents)-1]}
+}
+
+// QueryAtRank returns a PgSeg query whose sources sit at the given
+// percentile of the entity order of being (paper Fig. 5d varies this).
+func QueryAtRank(p *prov.Graph, percent int) (src, dst []graph.VertexID) {
+	ents := p.Entities()
+	if len(ents) < 4 {
+		return DefaultQuery(p)
+	}
+	idx := len(ents) * percent / 100
+	if idx > len(ents)-4 {
+		idx = len(ents) - 4
+	}
+	return []graph.VertexID{ents[idx], ents[idx+1]}, []graph.VertexID{ents[len(ents)-2], ents[len(ents)-1]}
+}

@@ -1,0 +1,49 @@
+package graph
+
+import "fmt"
+
+// Dictionary interns label names to compact Label ids. Label 0 is reserved
+// for the empty name.
+type Dictionary struct {
+	names []string
+	ids   map[string]Label
+}
+
+// NewDictionary returns a dictionary with the empty label pre-interned.
+func NewDictionary() *Dictionary {
+	d := &Dictionary{ids: make(map[string]Label)}
+	d.names = append(d.names, "")
+	d.ids[""] = NoLabel
+	return d
+}
+
+// Intern returns the Label for name, creating it if necessary.
+func (d *Dictionary) Intern(name string) Label {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	if len(d.names) >= 1<<16 {
+		panic("graph: label dictionary overflow")
+	}
+	id := Label(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns the Label for name and whether it exists.
+func (d *Dictionary) Lookup(name string) (Label, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the name of a label.
+func (d *Dictionary) Name(l Label) string {
+	if int(l) >= len(d.names) {
+		return fmt.Sprintf("<label %d>", l)
+	}
+	return d.names[l]
+}
+
+// Len returns the number of interned labels (including the empty label).
+func (d *Dictionary) Len() int { return len(d.names) }

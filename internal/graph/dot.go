@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// DOTOptions configures DOT rendering.
+type DOTOptions struct {
+	// NameProp, when set, is used as the vertex display name; otherwise the
+	// vertex label and id are shown.
+	NameProp string
+	// Subset restricts rendering to the given vertices (and edges among
+	// them). Nil renders everything.
+	Subset map[VertexID]bool
+	// VertexShape maps a vertex label name to a graphviz shape.
+	VertexShape map[string]string
+	// EdgeAnnotation, when non-nil, returns an extra per-edge annotation
+	// appended to the edge label.
+	EdgeAnnotation func(EdgeID) string
+}
+
+// WriteDOT renders the graph (or a subset) in graphviz DOT format.
+// Labels are quoted with %q, which escapes quotes and newlines.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	if _, err := fmt.Fprintln(w, "digraph provenance {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	for v := 0; v < g.NumVertices(); v++ {
+		id := VertexID(v)
+		if opts.Subset != nil && !opts.Subset[id] {
+			continue
+		}
+		name := ""
+		if opts.NameProp != "" {
+			name = g.VertexProp(id, opts.NameProp).AsString()
+		}
+		if name == "" {
+			name = fmt.Sprintf("%s#%d", g.dict.Name(g.vLabel[v]), v)
+		}
+		shape := ""
+		if opts.VertexShape != nil {
+			shape = opts.VertexShape[g.dict.Name(g.vLabel[v])]
+		}
+		attrs := fmt.Sprintf("label=%q", name)
+		if shape != "" {
+			attrs += fmt.Sprintf(", shape=%s", shape)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", v, attrs); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := EdgeID(e)
+		src, dst := g.eSrc[e], g.eDst[e]
+		if opts.Subset != nil && (!opts.Subset[src] || !opts.Subset[dst]) {
+			continue
+		}
+		label := g.dict.Name(g.eLabel[e])
+		if opts.EdgeAnnotation != nil {
+			if extra := opts.EdgeAnnotation(id); extra != "" {
+				label += " " + extra
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", src, dst, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of a property graph. The format is a simple
+// length-prefixed layout:
+//
+//	magic "PGS1" | dictionary | vertex labels | edges | vertex props | edge props
+//
+// All integers are unsigned varints; strings are length-prefixed.
+
+var storeMagic = [4]byte{'P', 'G', 'S', '1'}
+
+// ErrBadFormat is returned when deserialization encounters malformed input.
+var ErrBadFormat = errors.New("graph: bad serialized graph format")
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *writer) uvarint(x uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], x)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+	}
+	return x
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<28 {
+		r.err = ErrBadFormat
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func writeValue(w *writer, v Value) {
+	w.uvarint(uint64(v.kind))
+	switch v.kind {
+	case kindString:
+		w.str(v.s)
+	case kindInt, kindBool:
+		w.uvarint(uint64(v.i))
+	case kindFloat:
+		w.uvarint(math.Float64bits(v.f))
+	}
+}
+
+func readValue(r *reader) Value {
+	k := valueKind(r.uvarint())
+	switch k {
+	case kindNone:
+		return Value{}
+	case kindString:
+		return Value{kind: kindString, s: r.str()}
+	case kindInt:
+		return Value{kind: kindInt, i: int64(r.uvarint())}
+	case kindBool:
+		return Value{kind: kindBool, i: int64(r.uvarint())}
+	case kindFloat:
+		return Value{kind: kindFloat, f: math.Float64frombits(r.uvarint())}
+	}
+	r.err = ErrBadFormat
+	return Value{}
+}
+
+func writeProps(w *writer, all []Props) {
+	nonNil := 0
+	for _, p := range all {
+		if len(p) > 0 {
+			nonNil++
+		}
+	}
+	w.uvarint(uint64(nonNil))
+	for i, p := range all {
+		if len(p) == 0 {
+			continue
+		}
+		w.uvarint(uint64(i))
+		w.uvarint(uint64(len(p)))
+		for _, k := range SortedPropKeys(p) {
+			w.str(k)
+			writeValue(w, p[k])
+		}
+	}
+}
+
+func readProps(r *reader, all []Props) {
+	n := r.uvarint()
+	for j := uint64(0); j < n && r.err == nil; j++ {
+		i := r.uvarint()
+		if i >= uint64(len(all)) {
+			r.err = ErrBadFormat
+			return
+		}
+		cnt := r.uvarint()
+		if cnt > 1<<24 {
+			r.err = ErrBadFormat
+			return
+		}
+		p := make(Props, cnt)
+		for c := uint64(0); c < cnt && r.err == nil; c++ {
+			k := r.str()
+			p[k] = readValue(r)
+		}
+		all[i] = p
+	}
+}
+
+// Save writes the graph to w in the binary PGS1 format.
+func (g *Graph) Save(out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	if _, err := w.w.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	// Dictionary (skip the reserved empty entry).
+	w.uvarint(uint64(len(g.dict.names) - 1))
+	for _, name := range g.dict.names[1:] {
+		w.str(name)
+	}
+	// Vertices.
+	w.uvarint(uint64(len(g.vLabel)))
+	for _, l := range g.vLabel {
+		w.uvarint(uint64(l))
+	}
+	// Edges.
+	w.uvarint(uint64(len(g.eLabel)))
+	for i := range g.eLabel {
+		w.uvarint(uint64(g.eSrc[i]))
+		w.uvarint(uint64(g.eDst[i]))
+		w.uvarint(uint64(g.eLabel[i]))
+	}
+	writeProps(w, g.vProps)
+	writeProps(w, g.eProps)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Load reads a graph previously written by Save.
+func Load(in io.Reader) (*Graph, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	var magic [4]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != storeMagic {
+		return nil, ErrBadFormat
+	}
+	g := New()
+	nLabels := r.uvarint()
+	if nLabels >= 1<<16 {
+		return nil, ErrBadFormat
+	}
+	for i := uint64(0); i < nLabels && r.err == nil; i++ {
+		g.dict.Intern(r.str())
+	}
+	nv := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nv > 1<<31 {
+		return nil, ErrBadFormat
+	}
+	for i := uint64(0); i < nv && r.err == nil; i++ {
+		l := r.uvarint()
+		if l >= uint64(g.dict.Len()) {
+			return nil, ErrBadFormat
+		}
+		g.AddVertex(Label(l))
+	}
+	ne := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if ne > 1<<31 {
+		return nil, ErrBadFormat
+	}
+	for i := uint64(0); i < ne && r.err == nil; i++ {
+		src := r.uvarint()
+		dst := r.uvarint()
+		l := r.uvarint()
+		if src >= nv || dst >= nv || l >= uint64(g.dict.Len()) {
+			return nil, ErrBadFormat
+		}
+		g.AddEdge(VertexID(src), VertexID(dst), Label(l))
+	}
+	readProps(r, g.vProps)
+	readProps(r, g.eProps)
+	if r.err != nil {
+		return nil, fmt.Errorf("graph: load: %w", r.err)
+	}
+	return g, nil
+}

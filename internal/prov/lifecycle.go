@@ -1,0 +1,108 @@
+package prov
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Recorder is a convenience layer for ingesting lifecycle provenance the way
+// the paper's motivating system (ProvDB, Fig. 1) does: project artifacts are
+// versioned, each version is an entity snapshot, and activities connect the
+// snapshots. It addresses requirement R1 (querying both the artifact aspect
+// and the snapshot aspect).
+type Recorder struct {
+	P *Graph
+
+	// artifact name -> ordered version entities
+	versions map[string][]graph.VertexID
+	agents   map[string]graph.VertexID
+}
+
+// NewRecorder returns a recorder over a fresh PROV graph.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		P:        New(),
+		versions: make(map[string][]graph.VertexID),
+		agents:   make(map[string]graph.VertexID),
+	}
+}
+
+// Agent returns (creating on first use) the agent vertex for a team member.
+func (rc *Recorder) Agent(name string) graph.VertexID {
+	if v, ok := rc.agents[name]; ok {
+		return v
+	}
+	v := rc.P.NewAgent(name)
+	rc.agents[name] = v
+	return v
+}
+
+// Snapshot records a new version of the named artifact and returns its
+// entity vertex. If the artifact has a previous version, a wasDerivedFrom
+// edge links the new snapshot to it.
+func (rc *Recorder) Snapshot(artifact string) graph.VertexID {
+	vs := rc.versions[artifact]
+	ver := len(vs) + 1
+	e := rc.P.NewEntity(fmt.Sprintf("%s-v%d", artifact, ver))
+	rc.P.PG().SetVertexProp(e, "filename", graph.String(artifact))
+	rc.P.PG().SetVertexProp(e, PropVersion, graph.Int(int64(ver)))
+	if len(vs) > 0 {
+		rc.P.WasDerivedFrom(e, vs[len(vs)-1])
+	}
+	rc.versions[artifact] = append(vs, e)
+	return e
+}
+
+// Latest returns the latest snapshot of an artifact (and whether one exists).
+func (rc *Recorder) Latest(artifact string) (graph.VertexID, bool) {
+	vs := rc.versions[artifact]
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// Version returns the n-th (1-based) snapshot of an artifact.
+func (rc *Recorder) Version(artifact string, n int) (graph.VertexID, bool) {
+	vs := rc.versions[artifact]
+	if n < 1 || n > len(vs) {
+		return 0, false
+	}
+	return vs[n-1], true
+}
+
+// Versions returns all snapshots of an artifact in version order.
+func (rc *Recorder) Versions(artifact string) []graph.VertexID {
+	return rc.versions[artifact]
+}
+
+// Run records an activity executed by agent that used the given input
+// entities and produced new snapshots of the named output artifacts. It
+// returns the activity vertex and the output entities, in order.
+func (rc *Recorder) Run(agent, command string, inputs []graph.VertexID, outputs []string) (graph.VertexID, []graph.VertexID) {
+	a := rc.P.NewActivity(command)
+	rc.P.PG().SetVertexProp(a, PropCommand, graph.String(command))
+	rc.P.WasAssociatedWith(a, rc.Agent(agent))
+	for _, in := range inputs {
+		rc.P.Used(a, in)
+	}
+	outs := make([]graph.VertexID, 0, len(outputs))
+	for _, artifact := range outputs {
+		e := rc.Snapshot(artifact)
+		rc.P.WasGeneratedBy(e, a)
+		outs = append(outs, e)
+	}
+	return a, outs
+}
+
+// Import records an entity added from an external source, attributed to the
+// agent (e.g. "Alice downloads the dataset").
+func (rc *Recorder) Import(agent, artifact, url string) graph.VertexID {
+	e := rc.Snapshot(artifact)
+	if url != "" {
+		rc.P.PG().SetVertexProp(e, "url", graph.String(url))
+	}
+	rc.P.WasAttributedTo(e, rc.Agent(agent))
+	return e
+}

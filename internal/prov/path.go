@@ -1,0 +1,155 @@
+package prov
+
+import (
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Step is one hop of a path: the edge traversed and whether it was followed
+// against its direction (an inverse traversal, written U^-1 / G^-1 in the
+// paper). Only ancestry edges (used, wasGeneratedBy) have virtual inverses.
+type Step struct {
+	Edge    graph.EdgeID
+	Inverse bool
+}
+
+// Path is a vertex/edge alternating sequence v0 e1 v1 ... en vn with n >= 1
+// (paper Sec. III.A notation). It stores the start vertex and the steps; the
+// intermediate and final vertices are derived.
+type Path struct {
+	Start graph.VertexID
+	Steps []Step
+}
+
+// Len returns the number of edges on the path.
+func (pt Path) Len() int { return len(pt.Steps) }
+
+// Vertices returns the full vertex sequence v0..vn.
+func (pt Path) Vertices(p *Graph) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(pt.Steps)+1)
+	cur := pt.Start
+	out = append(out, cur)
+	for _, s := range pt.Steps {
+		cur = s.target(p, cur)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// End returns the final vertex vn.
+func (pt Path) End(p *Graph) graph.VertexID {
+	cur := pt.Start
+	for _, s := range pt.Steps {
+		cur = s.target(p, cur)
+	}
+	return cur
+}
+
+func (s Step) target(p *Graph, from graph.VertexID) graph.VertexID {
+	if s.Inverse {
+		if p.PG().Dst(s.Edge) != from {
+			panic("prov: inverse step does not start at edge destination")
+		}
+		return p.PG().Src(s.Edge)
+	}
+	if p.PG().Src(s.Edge) != from {
+		panic("prov: step does not start at edge source")
+	}
+	return p.PG().Dst(s.Edge)
+}
+
+// EdgeToken returns the path-word token for an edge traversal: "U", "G",
+// "S", "A", "D" or their inverse forms "U-1", "G-1".
+func EdgeToken(r Rel, inverse bool) string {
+	if inverse {
+		return r.String() + "-1"
+	}
+	return r.String()
+}
+
+// TauPath returns the label word tau(pi) of the full path: vertex and edge
+// labels in sequence order, space-separated.
+func (p *Graph) TauPath(pt Path) string {
+	var b strings.Builder
+	cur := pt.Start
+	b.WriteString(p.KindOf(cur).String())
+	for _, s := range pt.Steps {
+		b.WriteByte(' ')
+		b.WriteString(EdgeToken(p.RelOf(s.Edge), s.Inverse))
+		cur = s.target(p, cur)
+		b.WriteByte(' ')
+		b.WriteString(p.KindOf(cur).String())
+	}
+	return b.String()
+}
+
+// TauSegment returns the label word tau(pi-hat) of the path segment, i.e.
+// the path with its first and last vertices dropped: e1 v1 ... v_{n-1} en.
+func (p *Graph) TauSegment(pt Path) string {
+	var b strings.Builder
+	cur := pt.Start
+	for i, s := range pt.Steps {
+		if i > 0 {
+			b.WriteByte(' ')
+			b.WriteString(p.KindOf(cur).String())
+			b.WriteByte(' ')
+		}
+		b.WriteString(EdgeToken(p.RelOf(s.Edge), s.Inverse))
+		cur = s.target(p, cur)
+	}
+	return b.String()
+}
+
+// Inverse returns the inverse path pi^-1 (sequence reversed, each ancestry
+// step flipped). Panics if the path traverses a non-invertible edge type
+// forward (S, A, D have no virtual inverse in the core model).
+func (pt Path) Inverse(p *Graph) Path {
+	inv := Path{Start: pt.End(p), Steps: make([]Step, 0, len(pt.Steps))}
+	for i := len(pt.Steps) - 1; i >= 0; i-- {
+		s := pt.Steps[i]
+		if !s.Inverse {
+			r := p.RelOf(s.Edge)
+			if r != RelUsed && r != RelGen {
+				panic("prov: cannot invert non-ancestry edge " + r.LongName())
+			}
+		}
+		inv.Steps = append(inv.Steps, Step{Edge: s.Edge, Inverse: !s.Inverse})
+	}
+	return inv
+}
+
+// AncestryPaths enumerates all forward-ancestry alternating paths starting
+// at v (following U and G edges forward) with at most maxSteps edges,
+// invoking fn for each non-empty path. Enumeration stops early if fn
+// returns false. Intended for tests and small-graph verification: the count
+// of such paths can be exponential.
+func (p *Graph) AncestryPaths(v graph.VertexID, maxSteps int, fn func(Path) bool) {
+	var steps []Step
+	var rec func(cur graph.VertexID) bool
+	rec = func(cur graph.VertexID) bool {
+		if len(steps) > 0 {
+			cp := Path{Start: v, Steps: append([]Step(nil), steps...)}
+			if !fn(cp) {
+				return false
+			}
+		}
+		if len(steps) == maxSteps {
+			return true
+		}
+		for _, e := range p.PG().Out(cur) {
+			r := p.RelOf(e)
+			if r != RelUsed && r != RelGen {
+				continue
+			}
+			steps = append(steps, Step{Edge: e})
+			ok := rec(p.PG().Dst(e))
+			steps = steps[:len(steps)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(v)
+}

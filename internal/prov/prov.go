@@ -1,0 +1,362 @@
+// Package prov implements the W3C PROV core data model on top of the
+// property graph store (paper Sec. II, Definition 1).
+//
+// A provenance graph G(V, E, lambda_v, lambda_e, sigma, omega) is a DAG
+// whose vertices are Entities (E), Activities (A) and Agents (U), and whose
+// edges are one of the five core PROV relationships:
+//
+//	used              U  subset of A x E
+//	wasGeneratedBy    G  subset of E x A
+//	wasAssociatedWith S  subset of A x U
+//	wasAttributedTo   A  subset of E x U
+//	wasDerivedFrom    D  subset of E x E
+//
+// The package provides a typed builder with schema validation, helpers for
+// versioned artifacts, order-of-being, path labels (including inverse edge
+// labels U^-1 and G^-1), and a JSON interchange format.
+package prov
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Kind is a PROV vertex kind.
+type Kind uint8
+
+// PROV vertex kinds.
+const (
+	KindEntity Kind = iota
+	KindActivity
+	KindAgent
+	numKinds
+)
+
+// String returns the one-letter PROV vertex label (E, A, U).
+func (k Kind) String() string {
+	switch k {
+	case KindEntity:
+		return "E"
+	case KindActivity:
+		return "A"
+	case KindAgent:
+		return "U"
+	}
+	return "?"
+}
+
+// Rel is a PROV edge relationship type.
+type Rel uint8
+
+// PROV relationship types.
+const (
+	RelUsed  Rel = iota // used: Activity -> Entity
+	RelGen              // wasGeneratedBy: Entity -> Activity
+	RelAssoc            // wasAssociatedWith: Activity -> Agent
+	RelAttr             // wasAttributedTo: Entity -> Agent
+	RelDeriv            // wasDerivedFrom: Entity -> Entity
+	numRels
+)
+
+// String returns the one-letter edge label used in path words
+// (U, G, S, A, D).
+func (r Rel) String() string {
+	switch r {
+	case RelUsed:
+		return "U"
+	case RelGen:
+		return "G"
+	case RelAssoc:
+		return "S"
+	case RelAttr:
+		return "A"
+	case RelDeriv:
+		return "D"
+	}
+	return "?"
+}
+
+// LongName returns the PROV-DM relationship name.
+func (r Rel) LongName() string {
+	switch r {
+	case RelUsed:
+		return "used"
+	case RelGen:
+		return "wasGeneratedBy"
+	case RelAssoc:
+		return "wasAssociatedWith"
+	case RelAttr:
+		return "wasAttributedTo"
+	case RelDeriv:
+		return "wasDerivedFrom"
+	}
+	return "?"
+}
+
+// endpointKinds returns the required (src, dst) vertex kinds for a
+// relationship.
+func (r Rel) endpointKinds() (Kind, Kind) {
+	switch r {
+	case RelUsed:
+		return KindActivity, KindEntity
+	case RelGen:
+		return KindEntity, KindActivity
+	case RelAssoc:
+		return KindActivity, KindAgent
+	case RelAttr:
+		return KindEntity, KindAgent
+	case RelDeriv:
+		return KindEntity, KindEntity
+	}
+	panic("prov: bad relationship")
+}
+
+// Well-known property keys used by the lifecycle tooling.
+const (
+	PropName    = "name"    // display/artifact name
+	PropCommand = "command" // activity command
+	PropVersion = "version" // commit/version id
+	PropTime    = "time"    // logical timestamp
+)
+
+// Graph is a PROV provenance graph. It embeds the generic property graph
+// and adds PROV typing.
+type Graph struct {
+	g *graph.Graph
+
+	kindLabels [numKinds]graph.Label
+	relLabels  [numRels]graph.Label
+	labelKind  map[graph.Label]Kind
+	labelRel   map[graph.Label]Rel
+}
+
+// New returns an empty PROV graph.
+func New() *Graph {
+	return Wrap(graph.New())
+}
+
+// Wrap adapts an existing property graph whose labels are the PROV
+// one-letter conventions (E, A, U vertices; U, G, S, A, D edges). Labels are
+// interned if missing.
+func Wrap(g *graph.Graph) *Graph {
+	p := &Graph{
+		g:         g,
+		labelKind: make(map[graph.Label]Kind, numKinds),
+		labelRel:  make(map[graph.Label]Rel, numRels),
+	}
+	d := g.Dict()
+	// Vertex labels: E, A, U. Edge labels are prefixed to avoid colliding
+	// with the "A"/"U" vertex labels in the shared dictionary.
+	for k := Kind(0); k < numKinds; k++ {
+		l := d.Intern("v:" + k.String())
+		p.kindLabels[k] = l
+		p.labelKind[l] = k
+	}
+	for r := Rel(0); r < numRels; r++ {
+		l := d.Intern("e:" + r.String())
+		p.relLabels[r] = l
+		p.labelRel[l] = r
+	}
+	return p
+}
+
+// PG exposes the underlying property graph.
+func (p *Graph) PG() *graph.Graph { return p.g }
+
+// KindLabel returns the graph label for a vertex kind.
+func (p *Graph) KindLabel(k Kind) graph.Label { return p.kindLabels[k] }
+
+// RelLabel returns the graph label for a relationship.
+func (p *Graph) RelLabel(r Rel) graph.Label { return p.relLabels[r] }
+
+// NumVertices returns the number of vertices.
+func (p *Graph) NumVertices() int { return p.g.NumVertices() }
+
+// NumEdges returns the number of edges.
+func (p *Graph) NumEdges() int { return p.g.NumEdges() }
+
+// KindOf returns the PROV kind of vertex v.
+func (p *Graph) KindOf(v graph.VertexID) Kind {
+	k, ok := p.labelKind[p.g.VertexLabel(v)]
+	if !ok {
+		panic(fmt.Sprintf("prov: vertex %d has non-PROV label", v))
+	}
+	return k
+}
+
+// RelOf returns the PROV relationship of edge e.
+func (p *Graph) RelOf(e graph.EdgeID) Rel {
+	r, ok := p.labelRel[p.g.EdgeLabel(e)]
+	if !ok {
+		panic(fmt.Sprintf("prov: edge %d has non-PROV label", e))
+	}
+	return r
+}
+
+// IsKind reports whether v has the given kind.
+func (p *Graph) IsKind(v graph.VertexID, k Kind) bool {
+	return p.g.VertexLabel(v) == p.kindLabels[k]
+}
+
+// NewEntity adds an entity vertex with a display name.
+func (p *Graph) NewEntity(name string) graph.VertexID {
+	v := p.g.AddVertex(p.kindLabels[KindEntity])
+	if name != "" {
+		p.g.SetVertexProp(v, PropName, graph.String(name))
+	}
+	return v
+}
+
+// NewActivity adds an activity vertex with a display name.
+func (p *Graph) NewActivity(name string) graph.VertexID {
+	v := p.g.AddVertex(p.kindLabels[KindActivity])
+	if name != "" {
+		p.g.SetVertexProp(v, PropName, graph.String(name))
+	}
+	return v
+}
+
+// NewAgent adds an agent vertex with a display name.
+func (p *Graph) NewAgent(name string) graph.VertexID {
+	v := p.g.AddVertex(p.kindLabels[KindAgent])
+	if name != "" {
+		p.g.SetVertexProp(v, PropName, graph.String(name))
+	}
+	return v
+}
+
+// errKind formats an endpoint-typing error.
+func (p *Graph) errKind(r Rel, src, dst graph.VertexID) error {
+	ks, kd := r.endpointKinds()
+	return fmt.Errorf("prov: %s requires %v -> %v endpoints, got %v -> %v",
+		r.LongName(), ks, kd, p.KindOf(src), p.KindOf(dst))
+}
+
+// AddRel adds a typed relationship edge after validating the endpoint kinds.
+func (p *Graph) AddRel(r Rel, src, dst graph.VertexID) (graph.EdgeID, error) {
+	ks, kd := r.endpointKinds()
+	if p.KindOf(src) != ks || p.KindOf(dst) != kd {
+		return 0, p.errKind(r, src, dst)
+	}
+	return p.g.AddEdge(src, dst, p.relLabels[r]), nil
+}
+
+// mustRel is AddRel that panics on schema violation; used by the typed
+// helpers below whose signatures already enforce intent.
+func (p *Graph) mustRel(r Rel, src, dst graph.VertexID) graph.EdgeID {
+	e, err := p.AddRel(r, src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Used records that activity a used entity e (edge a -> e).
+func (p *Graph) Used(a, e graph.VertexID) graph.EdgeID { return p.mustRel(RelUsed, a, e) }
+
+// WasGeneratedBy records that entity e was generated by activity a
+// (edge e -> a).
+func (p *Graph) WasGeneratedBy(e, a graph.VertexID) graph.EdgeID { return p.mustRel(RelGen, e, a) }
+
+// WasAssociatedWith records that activity a was associated with agent u.
+func (p *Graph) WasAssociatedWith(a, u graph.VertexID) graph.EdgeID {
+	return p.mustRel(RelAssoc, a, u)
+}
+
+// WasAttributedTo records that entity e was attributed to agent u.
+func (p *Graph) WasAttributedTo(e, u graph.VertexID) graph.EdgeID { return p.mustRel(RelAttr, e, u) }
+
+// WasDerivedFrom records that entity e2 was derived from entity e1
+// (edge e2 -> e1).
+func (p *Graph) WasDerivedFrom(e2, e1 graph.VertexID) graph.EdgeID {
+	return p.mustRel(RelDeriv, e2, e1)
+}
+
+// Name returns the display name of a vertex (empty if unset).
+func (p *Graph) Name(v graph.VertexID) string {
+	return p.g.VertexProp(v, PropName).AsString()
+}
+
+// Order returns the order-of-being of a vertex. Vertex ids are assigned in
+// ingestion order, so the id is the order (paper Sec. III.B: "order of
+// being"); an explicit PropTime property overrides it.
+func (p *Graph) Order(v graph.VertexID) int64 {
+	if t, ok := p.g.VertexProp(v, PropTime).IntVal(); ok {
+		return t
+	}
+	return int64(v)
+}
+
+// Entities returns all entity vertex ids in id order.
+func (p *Graph) Entities() []graph.VertexID {
+	return p.g.VerticesWithLabel(p.kindLabels[KindEntity])
+}
+
+// Activities returns all activity vertex ids in id order.
+func (p *Graph) Activities() []graph.VertexID {
+	return p.g.VerticesWithLabel(p.kindLabels[KindActivity])
+}
+
+// Agents returns all agent vertex ids in id order.
+func (p *Graph) Agents() []graph.VertexID {
+	return p.g.VerticesWithLabel(p.kindLabels[KindAgent])
+}
+
+// GeneratorsOf appends to buf the activities that generated entity e
+// (targets of e's G out-edges).
+func (p *Graph) GeneratorsOf(e graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	return p.g.OutNeighbors(e, p.relLabels[RelGen], buf)
+}
+
+// GeneratedBy appends to buf the entities generated by activity a
+// (sources of a's G in-edges).
+func (p *Graph) GeneratedBy(a graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	return p.g.InNeighbors(a, p.relLabels[RelGen], buf)
+}
+
+// InputsOf appends to buf the entities used by activity a (targets of a's
+// U out-edges).
+func (p *Graph) InputsOf(a graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	return p.g.OutNeighbors(a, p.relLabels[RelUsed], buf)
+}
+
+// UsersOf appends to buf the activities that used entity e (sources of e's
+// U in-edges).
+func (p *Graph) UsersOf(e graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	return p.g.InNeighbors(e, p.relLabels[RelUsed], buf)
+}
+
+// AgentsOf appends to buf the agents linked to v by S (activities) or A
+// (entities) edges.
+func (p *Graph) AgentsOf(v graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	buf = p.g.OutNeighbors(v, p.relLabels[RelAssoc], buf)
+	buf = p.g.OutNeighbors(v, p.relLabels[RelAttr], buf)
+	return buf
+}
+
+// Validate checks PROV well-formedness: every vertex/edge label is a PROV
+// label, every edge is endpoint-typed correctly, and the graph is acyclic
+// (Definition 1 requires a DAG).
+func (p *Graph) Validate() error {
+	for v := 0; v < p.g.NumVertices(); v++ {
+		if _, ok := p.labelKind[p.g.VertexLabel(graph.VertexID(v))]; !ok {
+			return fmt.Errorf("prov: vertex %d: unknown label %q", v, p.g.Dict().Name(p.g.VertexLabel(graph.VertexID(v))))
+		}
+	}
+	for e := 0; e < p.g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		r, ok := p.labelRel[p.g.EdgeLabel(id)]
+		if !ok {
+			return fmt.Errorf("prov: edge %d: unknown label %q", e, p.g.Dict().Name(p.g.EdgeLabel(id)))
+		}
+		ks, kd := r.endpointKinds()
+		if p.KindOf(p.g.Src(id)) != ks || p.KindOf(p.g.Dst(id)) != kd {
+			return fmt.Errorf("prov: edge %d: %w", e, p.errKind(r, p.g.Src(id), p.g.Dst(id)))
+		}
+	}
+	if !p.g.IsAcyclic(nil) {
+		return fmt.Errorf("prov: provenance graph contains a cycle")
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Command provd is the provenance query daemon: it loads a .pg graph (or
+// generates a synthetic lifecycle graph) and serves the PgSeg / PgSum /
+// Cypher operators plus lifecycle ingestion over an HTTP JSON API.
+//
+// Usage:
+//
+//	provd -in project.pg -addr :8042
+//	provd -gen 10000 -seed 1 -addr :8042
+//
+// Endpoints (see internal/server):
+//
+//	POST /segment    {"src":[0,1],"dst":[9000],"exclude_rels":["A","D"]}
+//	POST /summarize  {"segments":[{"src":[0],"dst":[50]},{"src":[1],"dst":[60]}]}
+//	POST /query      {"query":"match (e:E) where id(e) in [0, 1] return e"}
+//	POST /ingest     {"ops":[{"op":"run","agent":"alice","command":"train",
+//	                          "inputs":[3],"outputs":["model"]}]}
+//	GET  /stats
+//	GET  /healthz
+//	GET  /export?format=prov-json|dot|pg
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prov"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8042", "listen address")
+	in := flag.String("in", "", "input .pg graph (mutually exclusive with -gen)")
+	genN := flag.Int("gen", 0, "generate a synthetic Pd lifecycle graph with this many vertices")
+	seed := flag.Int64("seed", 1, "generator seed (with -gen)")
+	cacheCap := flag.Int("cache", 256, "segment result cache capacity (entries)")
+	flag.Parse()
+
+	p, err := openGraph(*in, *genN, *seed)
+	if err != nil {
+		log.Fatalf("provd: %v", err)
+	}
+
+	store := server.NewStore(p, *cacheCap)
+	st := store.Stats()
+	log.Printf("provd: serving %d vertices, %d edges on %s (cache capacity %d)",
+		st.Vertices, st.Edges, *addr, *cacheCap)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewServer(store),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("provd: %v", err)
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("provd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("provd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("provd: shutdown: %v", err)
+		}
+	}
+}
+
+// openGraph loads the input .pg file, or generates a Pd graph, or (with
+// neither flag) starts empty for pure-ingest serving.
+func openGraph(in string, genN int, seed int64) (*prov.Graph, error) {
+	switch {
+	case in != "" && genN > 0:
+		return nil, fmt.Errorf("-in and -gen are mutually exclusive")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pg, err := graph.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", in, err)
+		}
+		p := prov.Wrap(pg)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("validate %s: %w", in, err)
+		}
+		return p, nil
+	case genN > 0:
+		return gen.Pd(gen.PdConfig{N: genN, Seed: seed}), nil
+	default:
+		return prov.New(), nil
+	}
+}

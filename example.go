@@ -4,6 +4,8 @@ package provdb
 // the Fig. 2 face-classification lifecycle (Alice and Bob train models over
 // three commits) and the Fig. 3 repetitive model-adjustment project.
 
+import "repro/internal/prov"
+
 // Fig2Lifecycle builds the provenance graph of the paper's running example
 // (Fig. 2(a)/(c)) and returns it together with the named vertices the
 // queries reference.
@@ -95,8 +97,8 @@ func Fig2Q2(names map[string]VertexID) Query {
 func Fig2Q3Options() SumOptions {
 	return SumOptions{
 		K: Aggregation{
-			Entity:   []string{"filename"},
-			Activity: []string{"command"},
+			Entity:   []string{prov.PropFilename},
+			Activity: []string{prov.PropCommand},
 		},
 		TypeRadius: 1,
 	}

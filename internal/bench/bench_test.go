@@ -9,11 +9,31 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 8 {
-		t.Fatalf("want 8 panels, got %v", IDs())
+	if len(IDs()) != 9 {
+		t.Fatalf("want 9 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
+	}
+}
+
+// TestSrvThroughputTiny drives the server-throughput panel end to end on a
+// tiny workload: every cell must carry a measured rate, not an error.
+func TestSrvThroughputTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server throughput sweep takes ~10s")
+	}
+	fig := SrvThroughput(ScaleSmall)
+	if len(fig.Rows) != 4 {
+		t.Fatalf("want 4 concurrency points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			c := r.Cells[s]
+			if c == "" || c == "err" {
+				t.Fatalf("bad cell %s at clients=%s: %q (err cell: %q)", s, r.X, c, r.Cells[strings.TrimSuffix(s, " req/s")+" hit%"])
+			}
+		}
 	}
 }
 

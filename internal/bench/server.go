@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prov"
+	"repro/internal/server"
+)
+
+// Server-throughput scenario (panel "srv"): requests/sec of the provd HTTP
+// service under N concurrent clients issuing the paper's dominant mixed
+// workload — mostly PgSeg queries drawn from a small pool of distinct
+// queries (so the LRU cache matters), plus PgSum, Cypher-subset lookups and
+// /stats probes. A second series adds a 5% lifecycle-ingest write mix, which
+// invalidates the segment cache and shows its cost. Future PRs track the
+// req/s series in BENCH_*.json.
+
+// srvWritePctMixed is the ingest share of the mixed series.
+const srvWritePctMixed = 5
+
+type srvWorkload struct {
+	segBodies [][]byte // distinct segment request payloads
+	sumBody   []byte
+	queryBody []byte
+	ingest    []byte
+}
+
+func buildSrvWorkload(p *prov.Graph) srvWorkload {
+	var w srvWorkload
+	for _, pct := range []int{0, 20, 40, 60, 80} {
+		src, dst := gen.QueryAtRank(p, pct)
+		w.segBodies = append(w.segBodies, mustJSON(server.SegmentRequest{
+			Src: toU32(src), Dst: toU32(dst),
+		}))
+	}
+	s0, d0 := gen.QueryAtRank(p, 0)
+	s1, d1 := gen.QueryAtRank(p, 40)
+	w.sumBody = mustJSON(server.SummarizeRequest{
+		Segments: []server.SegmentSpec{
+			{Src: toU32(s0), Dst: toU32(d0)},
+			{Src: toU32(s1), Dst: toU32(d1)},
+		},
+		AggActivity: []string{"command"},
+		TypeRadius:  1,
+	})
+	w.queryBody = mustJSON(server.QueryRequest{Query: "match (e:E) where id(e) in [0, 1, 2, 3] return e"})
+	w.ingest = mustJSON(server.IngestRequest{Ops: []server.IngestOp{
+		{Op: "run", Agent: "bench", Command: "touch", Outputs: []string{"bench-artifact"}},
+	}})
+	return w
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func toU32(vs []graph.VertexID) []uint32 {
+	out := make([]uint32, len(vs))
+	for i, v := range vs {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+// post issues one request and drains the response (keep-alive reuse).
+func post(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func get(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// runSrvMix drives total requests through the service from `clients`
+// concurrent goroutines and returns throughput plus the segment-cache hit
+// rate observed by the store. writePct (0..100) of requests are ingest
+// batches.
+func runSrvMix(store *server.Store, clients, total, writePct int, w srvWorkload) (reqPerSec, hitRate float64, err error) {
+	ts := httptest.NewServer(server.NewServer(store))
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	perClient := total / clients
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				n := (c*perClient + i) % 100
+				var e error
+				switch {
+				case n < writePct:
+					e = post(client, ts.URL+"/ingest", w.ingest)
+				case n%10 < 7:
+					e = post(client, ts.URL+"/segment", w.segBodies[(c+i)%len(w.segBodies)])
+				case n%10 == 7:
+					e = post(client, ts.URL+"/summarize", w.sumBody)
+				case n%10 == 8:
+					e = post(client, ts.URL+"/query", w.queryBody)
+				default:
+					e = get(client, ts.URL+"/stats")
+				}
+				if e != nil {
+					errs <- e
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case e := <-errs:
+		return 0, 0, e
+	default:
+	}
+	st := store.Stats()
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		hitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	return float64(clients*perClient) / elapsed.Seconds(), hitRate, nil
+}
+
+// srvGraphSize returns the Pd size and request count for a scale.
+func srvGraphSize(scale Scale) (n, total int) {
+	switch scale {
+	case ScaleMedium:
+		return 10000, 1500
+	case ScalePaper:
+		return 20000, 4000
+	default:
+		return 2000, 400
+	}
+}
+
+// SrvThroughput measures provd requests/sec vs client concurrency.
+func SrvThroughput(scale Scale) Figure {
+	n, total := srvGraphSize(scale)
+	fig := Figure{
+		ID:      "srv",
+		Caption: fmt.Sprintf("provd throughput vs concurrency (Pd%dk, %d requests)", n/1000, total),
+		XLabel:  "clients",
+		YLabel:  "requests/sec",
+		Series:  []string{"read req/s", "read hit%", "mixed req/s", "mixed hit%"},
+	}
+	// One shared graph for the read-only series (never mutated; per-cell
+	// stores keep cache counters independent). The write mix appends
+	// vertices, so it gets a private graph per cell — and neither series
+	// uses pdCache, whose graphs other panels share.
+	readG := gen.Pd(gen.PdConfig{N: n, Seed: 1})
+	w := buildSrvWorkload(readG)
+	for _, clients := range []int{1, 2, 4, 8} {
+		row := Row{X: fmt.Sprint(clients), Cells: map[string]string{}}
+		rps, hit, err := runSrvMix(server.NewStore(readG, 256), clients, total, 0, w)
+		fillCells(row.Cells, "read", rps, hit, err)
+		writeG := gen.Pd(gen.PdConfig{N: n, Seed: 1})
+		rps, hit, err = runSrvMix(server.NewStore(writeG, 256), clients, total, srvWritePctMixed, w)
+		fillCells(row.Cells, "mixed", rps, hit, err)
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig
+}
+
+func fillCells(cells map[string]string, prefix string, rps, hit float64, err error) {
+	if err != nil {
+		cells[prefix+" req/s"], cells[prefix+" hit%"] = "err", err.Error()
+		return
+	}
+	cells[prefix+" req/s"] = fmt.Sprintf("%.0f", rps)
+	cells[prefix+" hit%"] = fmt.Sprintf("%.0f%%", hit*100)
+}

@@ -95,7 +95,7 @@ func Pd(cfg PdConfig) *prov.Graph {
 			ai := rng.Intn(len(artifacts))
 			artifacts[ai].version++
 			e = p.NewEntity(fmt.Sprintf("%s-v%d", artifacts[ai].name, artifacts[ai].version))
-			p.PG().SetVertexProp(e, "filename", graph.String(artifacts[ai].name))
+			p.PG().SetVertexProp(e, prov.PropFilename, graph.String(artifacts[ai].name))
 			p.PG().SetVertexProp(e, prov.PropVersion, graph.Int(int64(artifacts[ai].version)))
 			if hasGen {
 				p.WasGeneratedBy(e, gen)
@@ -105,7 +105,7 @@ func Pd(cfg PdConfig) *prov.Graph {
 		} else {
 			name := fmt.Sprintf("artifact%d", len(artifacts))
 			e = p.NewEntity(name + "-v1")
-			p.PG().SetVertexProp(e, "filename", graph.String(name))
+			p.PG().SetVertexProp(e, prov.PropFilename, graph.String(name))
 			p.PG().SetVertexProp(e, prov.PropVersion, graph.Int(1))
 			if hasGen {
 				p.WasGeneratedBy(e, gen)

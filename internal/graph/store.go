@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // Binary serialization of a property graph. The format is a simple
@@ -67,12 +68,15 @@ func (r *reader) str() string {
 		r.err = ErrBadFormat
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r.r, b); err != nil {
+	// Copy incrementally rather than make([]byte, n) up front: n is
+	// attacker-controlled in untrusted files, and a hostile length must
+	// fail at EOF without first committing a quarter-gigabyte allocation.
+	var sb strings.Builder
+	if _, err := io.CopyN(&sb, r.r, int64(n)); err != nil {
 		r.err = err
 		return ""
 	}
-	return string(b)
+	return sb.String()
 }
 
 func writeValue(w *writer, v Value) {
@@ -139,7 +143,14 @@ func readProps(r *reader, all []Props) {
 			r.err = ErrBadFormat
 			return
 		}
-		p := make(Props, cnt)
+		// Cap the preallocation hint: cnt is attacker-controlled, and a
+		// hostile count must hit EOF before the map grows, not pre-commit
+		// a 16M-bucket allocation.
+		hint := cnt
+		if hint > 1024 {
+			hint = 1024
+		}
+		p := make(Props, hint)
 		for c := uint64(0); c < cnt && r.err == nil; c++ {
 			k := r.str()
 			p[k] = readValue(r)
@@ -179,12 +190,25 @@ func (g *Graph) Save(out io.Writer) error {
 	return w.w.Flush()
 }
 
-// Load reads a graph previously written by Save.
+// badFormat wraps an underlying decode error so that every malformed-input
+// failure — including truncation surfacing as io.EOF / io.ErrUnexpectedEOF —
+// satisfies errors.Is(err, ErrBadFormat). Servers load untrusted .pg files
+// and dispatch on that sentinel.
+func badFormat(err error) error {
+	if err == nil || errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadFormat, err)
+}
+
+// Load reads a graph previously written by Save. Any malformed input —
+// truncated stream, bad magic, corrupt varints, out-of-range references —
+// returns an error wrapping ErrBadFormat; Load never panics on bad bytes.
 func Load(in io.Reader) (*Graph, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	var magic [4]byte
 	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
-		return nil, err
+		return nil, badFormat(err)
 	}
 	if magic != storeMagic {
 		return nil, ErrBadFormat
@@ -199,7 +223,7 @@ func Load(in io.Reader) (*Graph, error) {
 	}
 	nv := r.uvarint()
 	if r.err != nil {
-		return nil, r.err
+		return nil, badFormat(r.err)
 	}
 	if nv > 1<<31 {
 		return nil, ErrBadFormat
@@ -213,7 +237,7 @@ func Load(in io.Reader) (*Graph, error) {
 	}
 	ne := r.uvarint()
 	if r.err != nil {
-		return nil, r.err
+		return nil, badFormat(r.err)
 	}
 	if ne > 1<<31 {
 		return nil, ErrBadFormat
@@ -230,7 +254,7 @@ func Load(in io.Reader) (*Graph, error) {
 	readProps(r, g.vProps)
 	readProps(r, g.eProps)
 	if r.err != nil {
-		return nil, fmt.Errorf("graph: load: %w", r.err)
+		return nil, fmt.Errorf("graph: load: %w", badFormat(r.err))
 	}
 	return g, nil
 }

@@ -28,6 +28,32 @@ func NewRecorder() *Recorder {
 	}
 }
 
+// WrapRecorder returns a recorder over an existing PROV graph, rebuilding the
+// artifact version index and agent table from stored properties so that
+// lifecycle recording can resume on a deserialized graph: snapshots carry a
+// PropFilename property (version order follows id order), agents their display
+// name.
+func WrapRecorder(p *Graph) *Recorder {
+	rc := &Recorder{
+		P:        p,
+		versions: make(map[string][]graph.VertexID),
+		agents:   make(map[string]graph.VertexID),
+	}
+	for _, e := range p.Entities() {
+		if name, ok := p.PG().VertexProp(e, PropFilename).Str(); ok && name != "" {
+			rc.versions[name] = append(rc.versions[name], e)
+		}
+	}
+	for _, u := range p.Agents() {
+		if name := p.Name(u); name != "" {
+			if _, dup := rc.agents[name]; !dup {
+				rc.agents[name] = u
+			}
+		}
+	}
+	return rc
+}
+
 // Agent returns (creating on first use) the agent vertex for a team member.
 func (rc *Recorder) Agent(name string) graph.VertexID {
 	if v, ok := rc.agents[name]; ok {
@@ -45,7 +71,7 @@ func (rc *Recorder) Snapshot(artifact string) graph.VertexID {
 	vs := rc.versions[artifact]
 	ver := len(vs) + 1
 	e := rc.P.NewEntity(fmt.Sprintf("%s-v%d", artifact, ver))
-	rc.P.PG().SetVertexProp(e, "filename", graph.String(artifact))
+	rc.P.PG().SetVertexProp(e, PropFilename, graph.String(artifact))
 	rc.P.PG().SetVertexProp(e, PropVersion, graph.Int(int64(ver)))
 	if len(vs) > 0 {
 		rc.P.WasDerivedFrom(e, vs[len(vs)-1])

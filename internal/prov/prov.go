@@ -114,10 +114,11 @@ func (r Rel) endpointKinds() (Kind, Kind) {
 
 // Well-known property keys used by the lifecycle tooling.
 const (
-	PropName    = "name"    // display/artifact name
-	PropCommand = "command" // activity command
-	PropVersion = "version" // commit/version id
-	PropTime    = "time"    // logical timestamp
+	PropName     = "name"     // display/artifact name
+	PropCommand  = "command"  // activity command
+	PropVersion  = "version"  // commit/version id
+	PropTime     = "time"     // logical timestamp
+	PropFilename = "filename" // artifact a snapshot entity belongs to
 )
 
 // Graph is a PROV provenance graph. It embeds the generic property graph

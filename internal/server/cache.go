@@ -1,0 +1,179 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// segCache is an LRU cache of segmentation results keyed by canonicalized
+// query. PgSeg is the service's dominant workload and its CFL-reachability
+// solve is the expensive part, so repeated identical queries are served from
+// here. The cache is guarded by its own mutex (separate from the store's
+// graph RWMutex) so cache bookkeeping never serializes solver work.
+//
+// Writes to the graph invalidate the whole cache: the graph is append-only,
+// so a cached segment stays structurally valid, but new vertices may extend
+// the similar-path language and change the correct answer.
+type segCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	byK map[string]*list.Element
+
+	// gen is bumped on every invalidation; a result solved against an older
+	// generation is dropped instead of inserted (see addIfGen).
+	gen atomic.Uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	seg *core.Segment
+}
+
+func newSegCache(capacity int) *segCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &segCache{
+		cap: capacity,
+		ll:  list.New(),
+		byK: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached segment for key, if any, and records a hit or miss.
+func (c *segCache) get(key string) (*core.Segment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).seg, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// generation returns the current cache generation. Callers snapshot it while
+// holding the store's read lock, so no invalidation can be concurrent with
+// the snapshot's solve.
+func (c *segCache) generation() uint64 { return c.gen.Load() }
+
+// addIfGen inserts a result solved against generation gen, unless the cache
+// has been invalidated since (a writer got in after the solver released the
+// read lock), in which case the stale result is dropped.
+func (c *segCache) addIfGen(key string, seg *core.Segment, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen.Load() != gen {
+		return
+	}
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*cacheEntry).seg = seg
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, seg: seg})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops every entry and bumps the generation.
+func (c *segCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen.Add(1)
+	c.invalidations.Add(1)
+	c.ll.Init()
+	c.byK = make(map[string]*list.Element, c.cap)
+}
+
+// len returns the current entry count.
+func (c *segCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a snapshot of cache counters, surfaced via /stats.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+func (c *segCache) stats() CacheStats {
+	return CacheStats{
+		Entries:       c.len(),
+		Capacity:      c.cap,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// segKey canonicalizes a segmentation query + solver options into a cache
+// key. Queries that differ only in the order of their vertex lists, excluded
+// relationship types, or expansion specs map to the same key. Queries
+// carrying programmatic filters (VertexFilters/EdgeFilters) are not
+// canonicalizable and must bypass the cache; HTTP requests never produce
+// them.
+func segKey(q core.Query, opts core.Options) (string, bool) {
+	if len(q.Boundary.VertexFilters) > 0 || len(q.Boundary.EdgeFilters) > 0 {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString("s=")
+	b.WriteString(opts.Solver.String())
+	fmt.Fprintf(&b, "|x=%v|p=%s,%s", opts.VC1ExcludeDerivations, opts.MatchActivityProp, opts.MatchEntityProp)
+	b.WriteString("|src=")
+	writeSortedIDs(&b, q.Src)
+	b.WriteString("|dst=")
+	writeSortedIDs(&b, q.Dst)
+	b.WriteString("|rels=")
+	rels := make([]int, 0, len(q.Boundary.ExcludeRels))
+	for _, r := range q.Boundary.ExcludeRels {
+		rels = append(rels, int(r))
+	}
+	sort.Ints(rels)
+	for _, r := range rels {
+		fmt.Fprintf(&b, "%d,", r)
+	}
+	exps := make([]string, 0, len(q.Boundary.Expansions))
+	for _, ex := range q.Boundary.Expansions {
+		var eb strings.Builder
+		writeSortedIDs(&eb, ex.Within)
+		exps = append(exps, fmt.Sprintf("%s:%d", eb.String(), ex.K))
+	}
+	sort.Strings(exps)
+	b.WriteString("|exp=")
+	b.WriteString(strings.Join(exps, ";"))
+	return b.String(), true
+}
+
+func writeSortedIDs(b *strings.Builder, vs []graph.VertexID) {
+	ids := make([]uint32, len(vs))
+	for i, v := range vs {
+		ids[i] = uint32(v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(b, "%d,", id)
+	}
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Wire types: the JSON request/response schema of every endpoint. Vertex and
+// edge ids are the dense uint32 ids of the underlying property graph;
+// relationship types use the paper's one-letter convention (U, G, S, A, D).
+
+// Output formats.
+const (
+	// FormatJSON is the default structured response.
+	FormatJSON = "json"
+	// FormatDOT renders the result subgraph in graphviz DOT.
+	FormatDOT = "dot"
+)
+
+// ExpansionSpec is one expansion boundary b_x(Within, K).
+type ExpansionSpec struct {
+	Within []uint32 `json:"within"`
+	K      int      `json:"k"`
+}
+
+// SegmentRequest is the POST /segment body.
+type SegmentRequest struct {
+	Src []uint32 `json:"src"`
+	Dst []uint32 `json:"dst"`
+	// ExcludeRels lists PROV edge types excluded by the boundary (one-letter
+	// names: U, G, S, A, D).
+	ExcludeRels []string        `json:"exclude_rels,omitempty"`
+	Expansions  []ExpansionSpec `json:"expansions,omitempty"`
+	// Solver picks the VC2 algorithm: "tst" (default), "alg", or "cflrb".
+	Solver string `json:"solver,omitempty"`
+	// Format is "json" (default) or "dot".
+	Format string `json:"format,omitempty"`
+	// NoCache bypasses the segment result cache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// VertexInfo describes one segment vertex.
+type VertexInfo struct {
+	ID   uint32 `json:"id"`
+	Kind string `json:"kind"` // E, A, or U
+	Name string `json:"name,omitempty"`
+	Rule string `json:"rule,omitempty"` // induction rule that contributed it
+}
+
+// EdgeInfo describes one segment edge.
+type EdgeInfo struct {
+	ID  uint32 `json:"id"`
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+	Rel string `json:"rel"` // U, G, S, A, or D
+}
+
+// SegmentResponse is the POST /segment reply.
+type SegmentResponse struct {
+	NumVertices int          `json:"num_vertices"`
+	NumEdges    int          `json:"num_edges"`
+	Vertices    []VertexInfo `json:"vertices,omitempty"`
+	Edges       []EdgeInfo   `json:"edges,omitempty"`
+	// Cached reports whether the result was served from the LRU cache.
+	Cached bool `json:"cached"`
+	// DOT carries the graphviz rendering when format=dot.
+	DOT string `json:"dot,omitempty"`
+}
+
+// SegmentSpec identifies one input segment of a summarization request.
+type SegmentSpec struct {
+	Src         []uint32 `json:"src"`
+	Dst         []uint32 `json:"dst"`
+	ExcludeRels []string `json:"exclude_rels,omitempty"`
+}
+
+// SummarizeRequest is the POST /summarize body.
+type SummarizeRequest struct {
+	Segments []SegmentSpec `json:"segments"`
+	// TypeRadius is Rk's k (provenance-type neighborhood radius).
+	TypeRadius int `json:"type_radius,omitempty"`
+	// AggActivity / AggEntity / AggAgent are the property-aggregation keys K.
+	AggActivity []string `json:"agg_activity,omitempty"`
+	AggEntity   []string `json:"agg_entity,omitempty"`
+	AggAgent    []string `json:"agg_agent,omitempty"`
+	// Format is "json" (default) or "dot".
+	Format string `json:"format,omitempty"`
+}
+
+// PsgNodeInfo is one summary vertex.
+type PsgNodeInfo struct {
+	Label   string `json:"label"`
+	Members int    `json:"members"`
+}
+
+// PsgEdgeInfo is one frequency-annotated summary edge.
+type PsgEdgeInfo struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Rel  string  `json:"rel"`
+	Freq float64 `json:"freq"`
+}
+
+// SummarizeResponse is the POST /summarize reply.
+type SummarizeResponse struct {
+	Nodes           []PsgNodeInfo `json:"nodes,omitempty"`
+	Edges           []PsgEdgeInfo `json:"edges,omitempty"`
+	InputVertices   int           `json:"input_vertices"`
+	Segments        int           `json:"segments"`
+	CompactionRatio float64       `json:"compaction_ratio"`
+	DOT             string        `json:"dot,omitempty"`
+}
+
+// QueryRequest is the POST /query (Cypher) body.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMillis caps evaluation time (default and ceiling set by the
+	// server, see maxCypherTimeout).
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// MaxRows caps intermediate binding tables.
+	MaxRows int `json:"max_rows,omitempty"`
+	// MaxPathLen caps variable-length path expansion.
+	MaxPathLen int `json:"max_path_len,omitempty"`
+}
+
+// QueryResponse is the POST /query reply. Each row cell is a rendered value:
+// vertices as {"id", "kind", "name"}, paths as {"verts", "edges"}, scalars as
+// their JSON form.
+type QueryResponse struct {
+	NumRows int     `json:"num_rows"`
+	Rows    [][]any `json:"rows"`
+}
+
+// IngestOp is one lifecycle mutation. Op selects the shape:
+//
+//   - "agent":    Agent — ensure an agent exists
+//   - "import":   Agent, Artifact, URL — record an external artifact
+//   - "snapshot": Artifact — record a new version of an artifact
+//   - "run":      Agent, Command, Inputs, Outputs — record an activity
+type IngestOp struct {
+	Op       string   `json:"op"`
+	Agent    string   `json:"agent,omitempty"`
+	Artifact string   `json:"artifact,omitempty"`
+	URL      string   `json:"url,omitempty"`
+	Command  string   `json:"command,omitempty"`
+	Inputs   []uint32 `json:"inputs,omitempty"`
+	Outputs  []string `json:"outputs,omitempty"`
+}
+
+// IngestRequest is the POST /ingest body: a batch of lifecycle operations
+// applied atomically under the write lock.
+type IngestRequest struct {
+	Ops []IngestOp `json:"ops"`
+}
+
+// IngestResult reports the vertices created by one op: the primary vertex
+// (agent, entity, or activity) and, for "run", the output entities.
+type IngestResult struct {
+	ID      uint32   `json:"id"`
+	Outputs []uint32 `json:"outputs,omitempty"`
+}
+
+// IngestResponse is the POST /ingest reply.
+type IngestResponse struct {
+	Results  []IngestResult `json:"results"`
+	Vertices int            `json:"vertices"`
+	Edges    int            `json:"edges"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- decoding helpers ---
+
+func toVertexIDs(ids []uint32) []graph.VertexID {
+	out := make([]graph.VertexID, len(ids))
+	for i, id := range ids {
+		out[i] = graph.VertexID(id)
+	}
+	return out
+}
+
+// parseRels maps one-letter relationship names to prov.Rel values.
+func parseRels(names []string) ([]prov.Rel, error) {
+	var out []prov.Rel
+	for _, n := range names {
+		switch strings.ToUpper(strings.TrimSpace(n)) {
+		case "U":
+			out = append(out, prov.RelUsed)
+		case "G":
+			out = append(out, prov.RelGen)
+		case "S":
+			out = append(out, prov.RelAssoc)
+		case "A":
+			out = append(out, prov.RelAttr)
+		case "D":
+			out = append(out, prov.RelDeriv)
+		default:
+			return nil, fmt.Errorf("unknown relationship %q (want U, G, S, A, D)", n)
+		}
+	}
+	return out, nil
+}
+
+// parseSolver maps the wire solver name to core options.
+func parseSolver(name string) (core.SolverKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "tst":
+		return core.SolverTst, nil
+	case "alg":
+		return core.SolverAlg, nil
+	case "cflrb":
+		return core.SolverCflrB, nil
+	}
+	return 0, fmt.Errorf("unknown solver %q (want tst, alg, cflrb)", name)
+}
+
+// toQuery converts a SegmentRequest into the core query + options.
+func (r *SegmentRequest) toQuery() (core.Query, core.Options, error) {
+	rels, err := parseRels(r.ExcludeRels)
+	if err != nil {
+		return core.Query{}, core.Options{}, err
+	}
+	solver, err := parseSolver(r.Solver)
+	if err != nil {
+		return core.Query{}, core.Options{}, err
+	}
+	q := core.Query{
+		Src:      toVertexIDs(r.Src),
+		Dst:      toVertexIDs(r.Dst),
+		Boundary: core.Boundary{ExcludeRels: rels},
+	}
+	for _, ex := range r.Expansions {
+		q.Boundary.Expansions = append(q.Boundary.Expansions, core.Expansion{
+			Within: toVertexIDs(ex.Within),
+			K:      ex.K,
+		})
+	}
+	return q, core.Options{Solver: solver}, nil
+}
+
+// --- encoding helpers (callers hold the store's read lock via Store.View) ---
+
+// encodeSegment renders a segment into the wire response.
+func encodeSegment(p *prov.Graph, seg *core.Segment, cached bool) *SegmentResponse {
+	resp := &SegmentResponse{
+		NumVertices: seg.NumVertices(),
+		NumEdges:    seg.NumEdges(),
+		Cached:      cached,
+	}
+	g := p.PG()
+	for _, v := range seg.Vertices {
+		resp.Vertices = append(resp.Vertices, VertexInfo{
+			ID:   uint32(v),
+			Kind: p.KindOf(v).String(),
+			Name: p.Name(v),
+			Rule: seg.ByRule[v].String(),
+		})
+	}
+	for _, e := range seg.Edges {
+		resp.Edges = append(resp.Edges, EdgeInfo{
+			ID:  uint32(e),
+			Src: uint32(g.Src(e)),
+			Dst: uint32(g.Dst(e)),
+			Rel: p.RelOf(e).String(),
+		})
+	}
+	return resp
+}
+
+// encodePsg renders a summary graph into the wire response.
+func encodePsg(psg *core.Psg) *SummarizeResponse {
+	resp := &SummarizeResponse{
+		InputVertices:   psg.InputVertices,
+		Segments:        psg.Segments,
+		CompactionRatio: psg.CompactionRatio(),
+	}
+	for _, n := range psg.Nodes {
+		resp.Nodes = append(resp.Nodes, PsgNodeInfo{Label: n.Label, Members: len(n.Members)})
+	}
+	for _, e := range psg.Edges {
+		resp.Edges = append(resp.Edges, PsgEdgeInfo{From: e.From, To: e.To, Rel: e.Rel.String(), Freq: e.Freq})
+	}
+	return resp
+}
+
+// encodeValue renders one Cypher runtime value as a JSON-friendly any.
+func encodeValue(p *prov.Graph, v cypher.Value) any {
+	switch v.Kind {
+	case cypher.KindVertex:
+		return map[string]any{
+			"id":   uint32(v.V),
+			"kind": p.KindOf(v.V).String(),
+			"name": p.Name(v.V),
+		}
+	case cypher.KindEdge:
+		g := p.PG()
+		return map[string]any{
+			"id":  uint32(v.E),
+			"src": uint32(g.Src(v.E)),
+			"dst": uint32(g.Dst(v.E)),
+			"rel": p.RelOf(v.E).String(),
+		}
+	case cypher.KindPath:
+		verts := make([]uint32, len(v.P.Verts))
+		for i, pv := range v.P.Verts {
+			verts[i] = uint32(pv)
+		}
+		edges := make([]uint32, len(v.P.Edges))
+		for i, pe := range v.P.Edges {
+			edges[i] = uint32(pe)
+		}
+		return map[string]any{"verts": verts, "edges": edges}
+	case cypher.KindList:
+		out := make([]any, len(v.L))
+		for i, lv := range v.L {
+			out[i] = encodeValue(p, lv)
+		}
+		return out
+	case cypher.KindString:
+		return v.S
+	case cypher.KindInt:
+		return v.I
+	case cypher.KindBool:
+		return v.B
+	}
+	return nil
+}
+
+// encodeResult renders a Cypher result table.
+func encodeResult(p *prov.Graph, res *cypher.Result) *QueryResponse {
+	resp := &QueryResponse{NumRows: len(res.Rows), Rows: make([][]any, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = encodeValue(p, v)
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	return resp
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Limits protecting the service from oversized or runaway requests.
+const (
+	// maxBodyBytes bounds request bodies.
+	maxBodyBytes = 8 << 20
+	// defaultCypherTimeout applies when a /query request names none.
+	defaultCypherTimeout = 10 * time.Second
+	// maxCypherTimeout is the ceiling a request can ask for.
+	maxCypherTimeout = 60 * time.Second
+	// defaultCypherMaxRows bounds intermediate binding tables when the
+	// request names no budget (the Cypher baseline is exponential on
+	// variable-length path joins; an unbounded query could exhaust memory).
+	defaultCypherMaxRows = 1_000_000
+)
+
+// Server is the provd HTTP API over one Store.
+//
+// Endpoints:
+//
+//	POST /segment    PgSeg query                     (read)
+//	POST /summarize  PgSum over segment queries      (read)
+//	POST /query      Cypher-subset query             (read)
+//	POST /ingest     lifecycle mutation batch        (write)
+//	GET  /stats      graph + cache statistics        (read)
+//	GET  /healthz    liveness probe
+//	GET  /export     whole-graph export: ?format=prov-json | dot | pg
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer builds the HTTP API over store.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /segment", s.handleSegment)
+	s.mux.HandleFunc("POST /summarize", s.handleSummarize)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /export", s.handleExport)
+	return s
+}
+
+// Store returns the store the server serves.
+func (s *Server) Store() *Store { return s.store }
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses the request body into v, enforcing the body size limit.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// queryErrCode maps an operator error to an HTTP status.
+func queryErrCode(err error) int {
+	switch {
+	case errors.Is(err, cypher.ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, cypher.ErrRowBudget):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// --- endpoint handlers ---
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	var req SegmentRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	format := strings.ToLower(req.Format)
+	if format != "" && format != FormatJSON && format != FormatDOT {
+		// Reject before the (potentially expensive) solve runs.
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want json, dot)", req.Format)
+		return
+	}
+	q, opts, err := req.toQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seg, cached, err := s.store.Segment(q, opts, !req.NoCache)
+	if err != nil {
+		writeErr(w, queryErrCode(err), "segment: %v", err)
+		return
+	}
+	var resp *SegmentResponse
+	var dotErr error
+	s.store.View(func(p *prov.Graph) {
+		if format == FormatDOT {
+			var b strings.Builder
+			dotErr = seg.WriteDOT(&b)
+			resp = &SegmentResponse{
+				NumVertices: seg.NumVertices(),
+				NumEdges:    seg.NumEdges(),
+				Cached:      cached,
+				DOT:         b.String(),
+			}
+			return
+		}
+		resp = encodeSegment(p, seg, cached)
+	})
+	if dotErr != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", dotErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	var req SummarizeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Segments) == 0 {
+		writeErr(w, http.StatusBadRequest, "summarize: needs at least one segment spec")
+		return
+	}
+	format := strings.ToLower(req.Format)
+	if format != "" && format != FormatJSON && format != FormatDOT {
+		// Reject before the (potentially expensive) solves run.
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want json, dot)", req.Format)
+		return
+	}
+	queries := make([]core.Query, 0, len(req.Segments))
+	for i, spec := range req.Segments {
+		rels, err := parseRels(spec.ExcludeRels)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "segment %d: %v", i, err)
+			return
+		}
+		queries = append(queries, core.Query{
+			Src:      toVertexIDs(spec.Src),
+			Dst:      toVertexIDs(spec.Dst),
+			Boundary: core.Boundary{ExcludeRels: rels},
+		})
+	}
+	sumOpts := core.SumOptions{
+		TypeRadius: req.TypeRadius,
+		K: core.Aggregation{
+			Entity:   req.AggEntity,
+			Activity: req.AggActivity,
+			Agent:    req.AggAgent,
+		},
+	}
+	psg, err := s.store.Summarize(queries, core.Options{}, sumOpts)
+	if err != nil {
+		writeErr(w, queryErrCode(err), "summarize: %v", err)
+		return
+	}
+	if format == FormatDOT {
+		var b strings.Builder
+		if err := psg.WriteDOT(&b); err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp := encodePsg(psg)
+		resp.Nodes, resp.Edges = nil, nil
+		resp.DOT = b.String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodePsg(psg))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeErr(w, http.StatusBadRequest, "query: empty query text")
+		return
+	}
+	timeout := defaultCypherTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > maxCypherTimeout {
+			timeout = maxCypherTimeout
+		}
+	}
+	maxRows := defaultCypherMaxRows
+	if req.MaxRows > 0 && req.MaxRows < maxRows {
+		maxRows = req.MaxRows
+	}
+	opts := cypher.Options{Timeout: timeout, MaxRows: maxRows, MaxPathLen: req.MaxPathLen}
+	res, err := s.store.Cypher(req.Query, opts)
+	if err != nil {
+		writeErr(w, queryErrCode(err), "query: %v", err)
+		return
+	}
+	var resp *QueryResponse
+	s.store.View(func(p *prov.Graph) { resp = encodeResult(p, res) })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "ingest: empty op batch")
+		return
+	}
+	resp := IngestResponse{Results: make([]IngestResult, 0, len(req.Ops))}
+	err := s.store.Update(func(rec *prov.Recorder) error {
+		// Validate the whole batch against the pre-batch graph first so the
+		// batch applies atomically: either every op commits or none does.
+		// Input ids must reference vertices that existed before the batch
+		// (chain across batches using the returned ids).
+		for i, op := range req.Ops {
+			if err := validateOp(rec.P, op); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+		for _, op := range req.Ops {
+			switch op.Op {
+			case "agent":
+				resp.Results = append(resp.Results, IngestResult{ID: uint32(rec.Agent(op.Agent))})
+			case "import":
+				resp.Results = append(resp.Results, IngestResult{ID: uint32(rec.Import(op.Agent, op.Artifact, op.URL))})
+			case "snapshot":
+				resp.Results = append(resp.Results, IngestResult{ID: uint32(rec.Snapshot(op.Artifact))})
+			case "run":
+				a, outs := rec.Run(op.Agent, op.Command, toVertexIDs(op.Inputs), op.Outputs)
+				res := IngestResult{ID: uint32(a)}
+				for _, o := range outs {
+					res.Outputs = append(res.Outputs, uint32(o))
+				}
+				resp.Results = append(resp.Results, res)
+			}
+		}
+		// Snapshot the totals while still holding the write lock so the
+		// reply reflects exactly this batch's commit point, not later
+		// concurrent batches.
+		resp.Vertices = rec.P.NumVertices()
+		resp.Edges = rec.P.NumEdges()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// validateOp checks one ingest op against the current graph; it must reject
+// anything that would make the recorder panic (bad input kinds, out-of-range
+// ids).
+func validateOp(p *prov.Graph, op IngestOp) error {
+	switch op.Op {
+	case "agent":
+		if op.Agent == "" {
+			return errors.New(`"agent" op needs a non-empty agent name`)
+		}
+	case "import":
+		if op.Agent == "" || op.Artifact == "" {
+			return errors.New(`"import" op needs agent and artifact`)
+		}
+	case "snapshot":
+		if op.Artifact == "" {
+			return errors.New(`"snapshot" op needs an artifact name`)
+		}
+	case "run":
+		if op.Agent == "" || op.Command == "" {
+			return errors.New(`"run" op needs agent and command`)
+		}
+		if len(op.Outputs) == 0 {
+			return errors.New(`"run" op needs at least one output artifact`)
+		}
+		for _, out := range op.Outputs {
+			if out == "" {
+				// An empty artifact name would create a nameless snapshot
+				// whose version chain is lost on reload (WrapRecorder keys
+				// versions by filename).
+				return errors.New(`"run" op output artifact names must be non-empty`)
+			}
+		}
+		for _, in := range op.Inputs {
+			if int(in) >= p.NumVertices() {
+				return fmt.Errorf("input vertex %d out of range", in)
+			}
+			if !p.IsKind(graph.VertexID(in), prov.KindEntity) {
+				return fmt.Errorf("input vertex %d is not an entity", in)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown op %q (want agent, import, snapshot, run)", op.Op)
+	}
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	var contentType string
+	var export func(io.Writer) error
+	switch strings.ToLower(format) {
+	case "", "prov-json":
+		contentType, export = "application/json", s.store.ExportJSON
+	case "dot":
+		contentType, export = "text/vnd.graphviz", s.store.ExportDOT
+	case "pg":
+		contentType, export = "application/octet-stream", s.store.Save
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want prov-json, dot, pg)", format)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	cw := &countingWriter{w: w}
+	if err := export(cw); err != nil && cw.n == 0 {
+		// Nothing streamed yet, so the status line is still ours to set.
+		// After the first byte (e.g. the client hung up mid-stream) an
+		// error status can no longer be delivered; just drop the request.
+		writeErr(w, http.StatusInternalServerError, "export: %v", err)
+	}
+}
+
+// countingWriter tracks whether any bytes reached the response.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

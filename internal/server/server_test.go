@@ -1,0 +1,562 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// testLifecycle builds a small Fig.1-style project: alice imports a dataset,
+// trains twice (two model versions), bob evaluates.
+func testLifecycle() (*prov.Graph, map[string]graph.VertexID) {
+	rec := prov.NewRecorder()
+	ids := map[string]graph.VertexID{}
+	ids["dataset"] = rec.Import("alice", "dataset", "http://example.com/faces")
+	_, outs := rec.Run("alice", "train", []graph.VertexID{ids["dataset"]}, []string{"model", "logs"})
+	ids["model-v1"], ids["logs-v1"] = outs[0], outs[1]
+	_, outs = rec.Run("alice", "train -more", []graph.VertexID{ids["dataset"], ids["model-v1"]}, []string{"model"})
+	ids["model-v2"] = outs[0]
+	_, outs = rec.Run("bob", "eval", []graph.VertexID{ids["model-v2"]}, []string{"report"})
+	ids["report"] = outs[0]
+	return rec.P, ids
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Store, map[string]graph.VertexID) {
+	t.Helper()
+	p, ids := testLifecycle()
+	store := NewStore(p, 16)
+	ts := httptest.NewServer(NewServer(store))
+	t.Cleanup(ts.Close)
+	return ts, store, ids
+}
+
+// doJSON posts body and decodes the JSON reply into out, returning the
+// status code.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var reqBody io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqBody = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var got map[string]string
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &got); code != 200 {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if got["status"] != "ok" {
+		t.Fatalf("healthz: %v", got)
+	}
+}
+
+func TestSegmentRoundTripAndCache(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	req := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["model-v2"])},
+	}
+	var seg SegmentResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/segment", req, &seg); code != 200 {
+		t.Fatalf("segment: status %d", code)
+	}
+	if seg.Cached {
+		t.Fatal("first request must not be cached")
+	}
+	if seg.NumVertices == 0 || seg.NumEdges == 0 {
+		t.Fatalf("empty segment: %+v", seg)
+	}
+	wantIDs := map[uint32]bool{uint32(ids["dataset"]): false, uint32(ids["model-v2"]): false}
+	for _, v := range seg.Vertices {
+		if _, ok := wantIDs[v.ID]; ok {
+			wantIDs[v.ID] = true
+		}
+	}
+	for id, seen := range wantIDs {
+		if !seen {
+			t.Errorf("query vertex %d missing from segment", id)
+		}
+	}
+
+	// The identical query again — now answered from the LRU cache; the
+	// request differing only in list order must hit the same entry.
+	var again SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", req, &again)
+	if !again.Cached {
+		t.Fatal("identical repeat not served from cache")
+	}
+	if again.NumVertices != seg.NumVertices || again.NumEdges != seg.NumEdges {
+		t.Fatalf("cached reply differs: %+v vs %+v", again, seg)
+	}
+
+	var stats StoreStats
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats)
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("cache counters: %+v", stats.Cache)
+	}
+	if stats.Cache.Entries != 1 {
+		t.Fatalf("cache entries: %+v", stats.Cache)
+	}
+}
+
+func TestSegmentSolversAgree(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	var sizes []int
+	for _, solver := range []string{"tst", "alg", "cflrb"} {
+		req := SegmentRequest{
+			Src:    []uint32{uint32(ids["dataset"])},
+			Dst:    []uint32{uint32(ids["report"])},
+			Solver: solver,
+			// Distinct solver = distinct cache key; no_cache keeps this test
+			// independent of cache state anyway.
+			NoCache: true,
+		}
+		var seg SegmentResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/segment", req, &seg); code != 200 {
+			t.Fatalf("solver %s: status %d", solver, code)
+		}
+		sizes = append(sizes, seg.NumVertices)
+	}
+	if sizes[0] != sizes[1] || sizes[1] != sizes[2] {
+		t.Fatalf("solvers disagree: %v", sizes)
+	}
+}
+
+func TestSegmentDOTFormat(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	req := SegmentRequest{
+		Src:    []uint32{uint32(ids["dataset"])},
+		Dst:    []uint32{uint32(ids["model-v1"])},
+		Format: "dot",
+	}
+	var seg SegmentResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/segment", req, &seg); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(seg.DOT, "digraph provenance") {
+		t.Fatalf("no DOT payload: %+v", seg)
+	}
+	if len(seg.Vertices) != 0 {
+		t.Fatal("dot format should omit the vertex list")
+	}
+}
+
+func TestSegmentBadRequests(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	cases := []struct {
+		name string
+		req  any
+	}{
+		{"empty src", SegmentRequest{Dst: []uint32{uint32(ids["model-v1"])}}},
+		{"out of range", SegmentRequest{Src: []uint32{99999}, Dst: []uint32{uint32(ids["model-v1"])}}},
+		{"bad solver", SegmentRequest{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])}, Solver: "neo4j"}},
+		{"bad rel", SegmentRequest{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])}, ExcludeRels: []string{"Z"}}},
+		{"bad format", SegmentRequest{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])}, Format: "svg"}},
+		{"expansion id out of range", SegmentRequest{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])},
+			Expansions: []ExpansionSpec{{Within: []uint32{4_000_000_000}, K: 1}}}},
+		{"unknown field", map[string]any{"sources": []int{0}}},
+	}
+	for _, tc := range cases {
+		var errResp ErrorResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/segment", tc.req, &errResp); code != 400 {
+			t.Errorf("%s: want 400, got %d", tc.name, code)
+		}
+		if errResp.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+func TestSummarizeRoundTrip(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	req := SummarizeRequest{
+		Segments: []SegmentSpec{
+			{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])}},
+			{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v2"])}},
+		},
+		AggActivity: []string{"command"},
+		TypeRadius:  1,
+	}
+	var resp SummarizeResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/summarize", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Nodes) == 0 || resp.Segments != 2 {
+		t.Fatalf("bad summary: %+v", resp)
+	}
+	if resp.CompactionRatio <= 0 || resp.CompactionRatio > 1 {
+		t.Fatalf("compaction ratio out of range: %v", resp.CompactionRatio)
+	}
+
+	req.Format = "dot"
+	var dotResp SummarizeResponse
+	doJSON(t, http.MethodPost, ts.URL+"/summarize", req, &dotResp)
+	if !strings.Contains(dotResp.DOT, "digraph psg") {
+		t.Fatalf("no DOT payload: %+v", dotResp)
+	}
+
+	var errResp ErrorResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/summarize", SummarizeRequest{}, &errResp); code != 400 {
+		t.Fatalf("empty summarize: want 400, got %d", code)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var resp QueryResponse
+	req := QueryRequest{Query: "match (e:E) where id(e) in [0, 1, 2] return e"}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/query", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.NumRows == 0 {
+		t.Fatalf("no rows: %+v", resp)
+	}
+	cell, ok := resp.Rows[0][0].(map[string]any)
+	if !ok || cell["kind"] != "E" {
+		t.Fatalf("bad vertex cell: %#v", resp.Rows[0][0])
+	}
+
+	var errResp ErrorResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/query", QueryRequest{Query: "garbage ("}, &errResp); code != 400 {
+		t.Fatalf("bad query: want 400, got %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/query", QueryRequest{}, &errResp); code != 400 {
+		t.Fatalf("empty query: want 400, got %d", code)
+	}
+}
+
+func TestIngestRoundTripAndAtomicity(t *testing.T) {
+	ts, store, ids := newTestServer(t)
+	before := store.Stats()
+
+	// A valid batch: declare an agent, import an artifact, run an activity
+	// over an existing entity.
+	req := IngestRequest{Ops: []IngestOp{
+		{Op: "agent", Agent: "carol"},
+		{Op: "import", Agent: "carol", Artifact: "testset", URL: "http://example.com/t"},
+		{Op: "run", Agent: "carol", Command: "evaluate", Inputs: []uint32{uint32(ids["model-v2"])}, Outputs: []string{"scores"}},
+	}}
+	var resp IngestResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("want 3 results: %+v", resp)
+	}
+	if len(resp.Results[2].Outputs) != 1 {
+		t.Fatalf("run op: want 1 output, got %+v", resp.Results[2])
+	}
+	if resp.Vertices <= before.Vertices {
+		t.Fatalf("graph did not grow: %d -> %d", before.Vertices, resp.Vertices)
+	}
+
+	// Chaining across batches: the import's returned id is usable as a run
+	// input in the next batch.
+	testset := resp.Results[1].ID
+	req = IngestRequest{Ops: []IngestOp{
+		{Op: "run", Agent: "carol", Command: "re-evaluate", Inputs: []uint32{testset}, Outputs: []string{"scores"}},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", req, &resp); code != 200 {
+		t.Fatalf("chained batch: status %d", code)
+	}
+
+	// Atomicity: a batch whose second op is invalid must leave the graph
+	// untouched even though the first op is fine.
+	mid := store.Stats()
+	bad := IngestRequest{Ops: []IngestOp{
+		{Op: "agent", Agent: "dave"},
+		{Op: "run", Agent: "dave", Command: "x", Inputs: []uint32{1 << 30}, Outputs: []string{"y"}},
+	}}
+	var errResp ErrorResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", bad, &errResp); code != 400 {
+		t.Fatalf("bad batch: want 400, got %d", code)
+	}
+	after := store.Stats()
+	if after.Vertices != mid.Vertices || after.Edges != mid.Edges {
+		t.Fatalf("failed batch mutated the graph: %+v -> %+v", mid, after)
+	}
+
+	// The run's input must be an entity, not an activity/agent.
+	badKind := IngestRequest{Ops: []IngestOp{
+		{Op: "run", Agent: "carol", Command: "x", Inputs: []uint32{resp.Results[0].ID}, Outputs: []string{"y"}},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", badKind, &errResp); code != 400 {
+		t.Fatalf("non-entity input: want 400, got %d", code)
+	}
+	if !strings.Contains(errResp.Error, "not an entity") {
+		t.Fatalf("unexpected error: %q", errResp.Error)
+	}
+}
+
+func TestCacheInvalidationOnWrite(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	seg := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["model-v2"])},
+	}
+	var r1, r2, r3 SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r1)
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r2)
+	if r1.Cached || !r2.Cached {
+		t.Fatalf("cache warmup broken: %v %v", r1.Cached, r2.Cached)
+	}
+
+	// A write invalidates: a new training run extends model-v2's downstream
+	// history; the repeat must be re-solved, not served stale.
+	ingest := IngestRequest{Ops: []IngestOp{
+		{Op: "run", Agent: "alice", Command: "train -v3", Inputs: []uint32{uint32(ids["model-v2"])}, Outputs: []string{"model"}},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", ingest, nil); code != 200 {
+		t.Fatalf("ingest failed")
+	}
+	var stats StoreStats
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats)
+	if stats.Cache.Invalidations != 1 || stats.Cache.Entries != 0 {
+		t.Fatalf("write did not invalidate cache: %+v", stats.Cache)
+	}
+	if stats.Writes != 1 {
+		t.Fatalf("write generation: %+v", stats)
+	}
+
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r3)
+	if r3.Cached {
+		t.Fatal("post-write repeat served from stale cache")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	p, ids := testLifecycle()
+	store := NewStore(p, 2) // capacity 2
+	ts := httptest.NewServer(NewServer(store))
+	defer ts.Close()
+
+	reqs := []SegmentRequest{
+		{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v1"])}},
+		{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["model-v2"])}},
+		{Src: []uint32{uint32(ids["dataset"])}, Dst: []uint32{uint32(ids["report"])}},
+	}
+	for _, r := range reqs {
+		doJSON(t, http.MethodPost, ts.URL+"/segment", r, nil)
+	}
+	var stats StoreStats
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats)
+	if stats.Cache.Entries != 2 {
+		t.Fatalf("LRU did not evict: %+v", stats.Cache)
+	}
+	// The oldest entry (reqs[0]) was evicted; the newest is still cached.
+	var r SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", reqs[2], &r)
+	if !r.Cached {
+		t.Fatal("most recent entry should still be cached")
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/segment", reqs[0], &r)
+	if r.Cached {
+		t.Fatal("evicted entry should have been re-solved")
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/export?format=prov-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("prov-json: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := doc["entity"]; !ok {
+		t.Fatalf("prov-json missing entity map: %v", doc)
+	}
+
+	resp, err = http.Get(ts.URL + "/export?format=dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(dot), "digraph provenance") {
+		t.Fatal("dot export missing header")
+	}
+
+	resp, err = http.Get(ts.URL + "/export?format=pg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	g, err := graph.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("pg export does not round-trip: %v", err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("pg export empty")
+	}
+
+	resp, err = http.Get(ts.URL + "/export?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown format: want 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /segment: want 405, got %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers the service with concurrent readers and
+// writers; run with -race this is the subsystem's data-race proof, and it
+// checks reads stay consistent (a segment response never references a vertex
+// the graph doesn't have).
+func TestConcurrentMixedTraffic(t *testing.T) {
+	ts, store, ids := newTestServer(t)
+	const (
+		readers  = 8
+		writers  = 2
+		perGoro  = 25
+		segEvery = 3
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				switch i % segEvery {
+				case 0:
+					req := SegmentRequest{
+						Src: []uint32{uint32(ids["dataset"])},
+						Dst: []uint32{uint32(ids["model-v2"])},
+					}
+					b, _ := json.Marshal(req)
+					resp, err := http.Post(ts.URL+"/segment", "application/json", bytes.NewReader(b))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					var seg SegmentResponse
+					err = json.NewDecoder(resp.Body).Decode(&seg)
+					resp.Body.Close()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if resp.StatusCode != 200 {
+						errCh <- fmt.Errorf("segment status %d", resp.StatusCode)
+						return
+					}
+					n := store.Stats().Vertices
+					for _, v := range seg.Vertices {
+						if int(v.ID) >= n {
+							errCh <- fmt.Errorf("segment vertex %d beyond graph size %d", v.ID, n)
+							return
+						}
+					}
+				case 1:
+					b, _ := json.Marshal(QueryRequest{Query: "match (e:E) where id(e) in [0, 1] return e"})
+					resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				default:
+					resp, err := http.Get(ts.URL + "/stats")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(r)
+	}
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				req := IngestRequest{Ops: []IngestOp{
+					{Op: "run", Agent: fmt.Sprintf("w%d", wr), Command: fmt.Sprintf("step-%d", i),
+						Inputs: []uint32{uint32(ids["dataset"])}, Outputs: []string{fmt.Sprintf("art-%d", wr)}},
+				}}
+				b, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errCh <- fmt.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	st := store.Stats()
+	if st.Writes != writers*perGoro {
+		t.Fatalf("want %d committed writes, got %d", writers*perGoro, st.Writes)
+	}
+	if err := func() (err error) { store.View(func(p *prov.Graph) { err = p.Validate() }); return }(); err != nil {
+		t.Fatalf("graph invalid after concurrent traffic: %v", err)
+	}
+}

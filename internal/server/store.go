@@ -1,0 +1,228 @@
+// Package server implements provd, the long-lived HTTP query service over a
+// provenance graph (the serving layer of the paper's provenance data
+// manager). It has three layers:
+//
+//  1. Store — a concurrency-safe wrapper around the PROV graph and its
+//     lifecycle recorder. Segmentation, summarization and Cypher evaluation
+//     run under a shared read lock (the operators only read the graph);
+//     ingest runs under the exclusive write lock.
+//  2. Wire codecs (codec.go) — JSON request/response types for every
+//     endpoint, plus DOT and PROV-JSON output formats reusing the existing
+//     renderers.
+//  3. Result cache (cache.go) — an LRU over canonicalized PgSeg queries,
+//     invalidated on writes.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Store is the concurrency-safe graph wrapper the HTTP handlers talk to.
+//
+// The underlying property graph is append-only and single-writer-unsafe, so
+// the store serializes mutations behind mu while letting any number of
+// queries share the read side. Cached segments survive across reads; any
+// write purges them (see segCache).
+type Store struct {
+	mu  sync.RWMutex
+	rec *prov.Recorder
+
+	cache *segCache
+
+	// writes counts committed ingest batches (the store generation).
+	writes uint64
+
+	started time.Time
+}
+
+// NewStore wraps an existing PROV graph. cacheCap bounds the segment cache
+// (entries; <=0 selects the default).
+func NewStore(p *prov.Graph, cacheCap int) *Store {
+	return &Store{
+		rec:     prov.WrapRecorder(p),
+		cache:   newSegCache(cacheCap),
+		started: time.Now(),
+	}
+}
+
+// View runs fn under the shared read lock. fn must not retain p past the
+// call.
+func (s *Store) View(fn func(p *prov.Graph)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.rec.P)
+}
+
+// Update runs fn under the exclusive write lock; if fn succeeds, the write
+// generation advances and the segment cache is invalidated.
+func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := fn(s.rec); err != nil {
+		return err
+	}
+	s.writes++
+	s.cache.invalidate()
+	return nil
+}
+
+// Segment evaluates a PgSeg query, serving repeats from the LRU cache when
+// the query is canonicalizable and useCache is true. It reports whether the
+// result came from the cache.
+func (s *Store) Segment(q core.Query, opts core.Options, useCache bool) (*core.Segment, bool, error) {
+	key := ""
+	if useCache {
+		var ok bool
+		key, ok = segKey(q, opts)
+		useCache = ok
+	}
+	if useCache {
+		if seg, ok := s.cache.get(key); ok {
+			return seg, true, nil
+		}
+	}
+	seg, gen, err := func() (*core.Segment, uint64, error) {
+		s.mu.RLock()
+		defer s.mu.RUnlock() // deferred: a solver panic must not leak the RLock
+		gen := s.cache.generation()
+		seg, err := core.NewEngine(s.rec.P, opts).Segment(q)
+		return seg, gen, err
+	}()
+	if err != nil {
+		return nil, false, err
+	}
+	if useCache {
+		s.cache.addIfGen(key, seg, gen)
+	}
+	return seg, false, nil
+}
+
+// Summarize evaluates the segment queries (through the cache) and combines
+// the results with PgSum. The whole evaluation holds one read lock so every
+// segment and the summary reflect a single graph state even with concurrent
+// ingest; cache hits are safe to mix in because any write purges the cache,
+// so a surviving entry is always from the current generation.
+func (s *Store) Summarize(queries []core.Query, segOpts core.Options, sumOpts core.SumOptions) (*core.Psg, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gen := s.cache.generation()
+	segs := make([]*core.Segment, 0, len(queries))
+	for i, q := range queries {
+		key, cacheable := segKey(q, segOpts)
+		if cacheable {
+			if seg, ok := s.cache.get(key); ok {
+				segs = append(segs, seg)
+				continue
+			}
+		}
+		seg, err := core.NewEngine(s.rec.P, segOpts).Segment(q)
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		if cacheable {
+			s.cache.addIfGen(key, seg, gen)
+		}
+		segs = append(segs, seg)
+	}
+	return core.Summarize(segs, sumOpts)
+}
+
+// Cypher evaluates a query in the supported Cypher subset.
+func (s *Store) Cypher(query string, opts cypher.Options) (*cypher.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return cypher.NewProvEvaluator(s.rec.P, opts).Run(query)
+}
+
+// StoreStats is the /stats payload: graph shape, cache counters, and service
+// uptime.
+type StoreStats struct {
+	Vertices      int            `json:"vertices"`
+	Edges         int            `json:"edges"`
+	VertexByLabel map[string]int `json:"vertex_by_label"`
+	EdgeByLabel   map[string]int `json:"edge_by_label"`
+	MaxOutDegree  int            `json:"max_out_degree"`
+	MaxInDegree   int            `json:"max_in_degree"`
+	Writes        uint64         `json:"writes"`
+	Cache         CacheStats     `json:"cache"`
+	UptimeMillis  int64          `json:"uptime_ms"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	st := s.rec.P.PG().Stats()
+	writes := s.writes
+	s.mu.RUnlock()
+	return StoreStats{
+		Vertices:      st.Vertices,
+		Edges:         st.Edges,
+		VertexByLabel: st.VertexByLabel,
+		EdgeByLabel:   st.EdgeByLabel,
+		MaxOutDegree:  st.MaxOutDegree,
+		MaxInDegree:   st.MaxInDegree,
+		Writes:        writes,
+		Cache:         s.cache.stats(),
+		UptimeMillis:  time.Since(s.started).Milliseconds(),
+	}
+}
+
+// The export methods render into a buffer under the read lock and stream to
+// the client only after releasing it: the client may drain the body
+// arbitrarily slowly, and a held RLock would queue a waiting writer behind
+// it — which in turn blocks every new reader (one slow export client must
+// not be able to stall the whole service).
+
+// ExportJSON writes the whole graph as PROV-JSON (prov/json.go's format).
+func (s *Store) ExportJSON(w io.Writer) error {
+	return s.renderThenStream(w, func(buf io.Writer) error {
+		return s.rec.P.ExportJSON(buf)
+	})
+}
+
+// ExportDOT writes the whole graph in graphviz DOT (graph/dot.go).
+func (s *Store) ExportDOT(w io.Writer) error {
+	return s.renderThenStream(w, func(buf io.Writer) error {
+		return s.rec.P.PG().WriteDOT(buf, graph.DOTOptions{
+			NameProp:    prov.PropName,
+			VertexShape: provShapes,
+		})
+	})
+}
+
+// Save writes the graph in the binary .pg format (graph/store.go).
+func (s *Store) Save(w io.Writer) error {
+	return s.renderThenStream(w, func(buf io.Writer) error {
+		return s.rec.P.PG().Save(buf)
+	})
+}
+
+// renderThenStream runs render into a memory buffer under the read lock,
+// then copies the result to w lock-free.
+func (s *Store) renderThenStream(w io.Writer, render func(io.Writer) error) error {
+	var buf bytes.Buffer
+	s.mu.RLock()
+	err := render(&buf)
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// provShapes is the DOT shape convention shared with the CLI renderers.
+var provShapes = map[string]string{
+	"v:E": "ellipse",
+	"v:A": "box",
+	"v:U": "house",
+}

@@ -153,11 +153,11 @@ func New() *Graph {
 	return &Graph{rec: prov.NewRecorder()}
 }
 
-// wrap adapts an existing PROV graph.
+// wrap adapts an existing PROV graph, rebuilding the lifecycle indexes so
+// recording resumes where the loaded graph left off (artifact versions keep
+// counting, agents are reused instead of duplicated).
 func wrap(p *prov.Graph) *Graph {
-	rc := prov.NewRecorder()
-	rc.P = p
-	return &Graph{rec: rc}
+	return &Graph{rec: prov.WrapRecorder(p)}
 }
 
 // Prov exposes the underlying PROV-typed graph.

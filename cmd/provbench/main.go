@@ -22,8 +22,9 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "panel to run: 5a..5h or all")
+	figure := flag.String("figure", "all", "panel to run: 5a..5h, csr, srv or all")
 	scale := flag.String("scale", "small", "experiment scale: small, medium, paper")
+	record := flag.String("record", "", "append the serving-layer panels (srv, csr) to this JSON history file (e.g. BENCH_provd.json)")
 	flag.Parse()
 
 	sc := bench.Scale(*scale)
@@ -46,6 +47,13 @@ func main() {
 			os.Exit(2)
 		}
 		fig.Render(os.Stdout)
+		if *record != "" && (fig.ID == "srv" || fig.ID == "csr") {
+			if err := bench.RecordFigure(*record, fig, sc); err != nil {
+				fmt.Fprintf(os.Stderr, "provbench: record: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded %q into %s\n", fig.ID, *record)
+		}
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -12,11 +12,16 @@
 //	POST /segment    {"src":[0,1],"dst":[9000],"exclude_rels":["A","D"]}
 //	POST /summarize  {"segments":[{"src":[0],"dst":[50]},{"src":[1],"dst":[60]}]}
 //	POST /query      {"query":"match (e:E) where id(e) in [0, 1] return e"}
+//	POST /adjust     {"segment":{"src":[0],"dst":[9000]},"exclude_kinds":["U"]}
 //	POST /ingest     {"ops":[{"op":"run","agent":"alice","command":"train",
 //	                          "inputs":[3],"outputs":["model"]}]}
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
 //	GET  /export?format=prov-json|dot|pg
+//
+// All reads are served lock-free from an immutable epoch snapshot; ingest
+// publishes a new snapshot per committed batch.
 package main
 
 import (
@@ -53,8 +58,8 @@ func main() {
 
 	store := server.NewStore(p, *cacheCap)
 	st := store.Stats()
-	log.Printf("provd: serving %d vertices, %d edges on %s (cache capacity %d)",
-		st.Vertices, st.Edges, *addr, *cacheCap)
+	log.Printf("provd: serving %d vertices, %d edges on %s (epoch %d, cache capacity %d)",
+		st.Vertices, st.Edges, *addr, st.Epoch, *cacheCap)
 
 	srv := &http.Server{
 		Addr:              *addr,

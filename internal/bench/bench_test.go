@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -9,11 +11,79 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 9 {
-		t.Fatalf("want 9 panels, got %v", IDs())
+	if len(IDs()) != 10 {
+		t.Fatalf("want 10 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
+	}
+}
+
+// TestRecordFigure: the persisted history round-trips and accumulates
+// entries across runs, keeping figures separate.
+func TestRecordFigure(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	fig := Figure{
+		ID:     "srv",
+		Series: []string{"read req/s"},
+		Rows:   []Row{{X: "1", Cells: map[string]string{"read req/s": "100"}}},
+	}
+	if err := RecordFigure(path, fig, ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	fig.Rows[0].Cells["read req/s"] = "200"
+	if err := RecordFigure(path, fig, ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	other := Figure{ID: "csr", Series: []string{"speedup"},
+		Rows: []Row{{X: "1000", Cells: map[string]string{"speedup": "2.0x"}}}}
+	if err := RecordFigure(path, other, ScaleMedium); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist map[string][]BenchEntry
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatalf("history does not round-trip: %v", err)
+	}
+	if len(hist["srv"]) != 2 || len(hist["csr"]) != 1 {
+		t.Fatalf("entry counts: srv=%d csr=%d", len(hist["srv"]), len(hist["csr"]))
+	}
+	if hist["srv"][0].Rows[0].Cells["read req/s"] != "100" || hist["srv"][1].Rows[0].Cells["read req/s"] != "200" {
+		t.Fatalf("entries out of order: %+v", hist["srv"])
+	}
+	if hist["csr"][0].Scale != string(ScaleMedium) || hist["csr"][0].Time == "" {
+		t.Fatalf("metadata missing: %+v", hist["csr"][0])
+	}
+
+	// A corrupt history must error out, not be silently overwritten.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordFigure(path, fig, ScaleSmall); err == nil {
+		t.Fatal("corrupt history accepted")
+	}
+}
+
+// TestFigCSRTiny runs the CSR-vs-filtered panel on the smallest scale and
+// sanity-checks every cell is a measurement.
+func TestFigCSRTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CSR sweep regenerates Pd graphs")
+	}
+	fig := FigCSR(ScaleSmall)
+	if len(fig.Rows) != 3 {
+		t.Fatalf("want 3 size points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			if r.Cells[s] == "" {
+				t.Fatalf("empty cell %s at N=%s", s, r.X)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// Persisted benchmark history (BENCH_provd.json): the serving-layer panels
+// ("srv" throughput, "csr" adjacency comparison) are re-measured every PR
+// and appended here so the performance trajectory survives across PRs. The
+// file maps figure id -> run entries, newest last.
+
+// BenchEntry is one recorded run of a figure.
+type BenchEntry struct {
+	Time   string     `json:"time"`
+	Scale  string     `json:"scale"`
+	Series []string   `json:"series"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+// BenchRow mirrors one figure row: the x-axis point and its per-series
+// cells.
+type BenchRow struct {
+	X     string            `json:"x"`
+	Cells map[string]string `json:"cells"`
+}
+
+// RecordFigure appends one measured figure to the history file at path,
+// creating it if absent. The file is a JSON object keyed by figure id.
+func RecordFigure(path string, fig Figure, scale Scale) error {
+	hist := map[string][]BenchEntry{}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &hist); err != nil {
+			return fmt.Errorf("bench: corrupt history %s: %w", path, err)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// first run: start a fresh history
+	default:
+		return err
+	}
+
+	entry := BenchEntry{
+		Time:   time.Now().UTC().Format(time.RFC3339),
+		Scale:  string(scale),
+		Series: fig.Series,
+	}
+	for _, r := range fig.Rows {
+		entry.Rows = append(entry.Rows, BenchRow{X: r.X, Cells: r.Cells})
+	}
+	hist[fig.ID] = append(hist[fig.ID], entry)
+
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so an interrupted run can never leave a truncated
+	// history behind (a corrupt file blocks all future recording).
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

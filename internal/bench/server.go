@@ -20,9 +20,12 @@ import (
 // service under N concurrent clients issuing the paper's dominant mixed
 // workload — mostly PgSeg queries drawn from a small pool of distinct
 // queries (so the LRU cache matters), plus PgSum, Cypher-subset lookups and
-// /stats probes. A second series adds a 5% lifecycle-ingest write mix, which
-// invalidates the segment cache and shows its cost. Future PRs track the
-// req/s series in BENCH_*.json.
+// /stats probes. A second series adds a 5% lifecycle-ingest write mix: under
+// the epoch-snapshot store the writes commit fresh snapshots while readers
+// keep going lock-free, and because the bench writes are disconnected side
+// provenance, revalidation carries the cached segments across every commit
+// (the mixed hit rate tracks the read-only one). The req/s series is
+// recorded into BENCH_provd.json via provbench -record.
 
 // srvWritePctMixed is the ingest share of the mixed series.
 const srvWritePctMixed = 5

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Panel "csr": the live graph's boundary-filtered adjacency vs a frozen
+// epoch snapshot's CSR index (graph.Freeze). This is the serving layer's
+// read path — provd queries always run against a snapshot. Two workloads:
+// the full PgSeg solve (dominated by the VC2 solver's bitset kernel, so
+// representation-insensitive) and the pure ancestry walk (VC1's closure —
+// the adjacency-bound traversal the CSR accelerates, which also drives
+// expansions and segment assembly). The one-time freeze cost a commit pays
+// is reported alongside.
+
+// timeSegment measures one full PgSeg evaluation (best of reps).
+func timeSegment(p *prov.Graph, src, dst []graph.VertexID, reps int) time.Duration {
+	eng := core.NewEngine(p, core.Options{})
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := eng.Segment(core.Query{Src: src, Dst: dst}); err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// timeWalk measures one VC1 ancestry pass (forward closure of dst plus
+// backward closure of src), averaged over enough iterations to be stable.
+func timeWalk(p *prov.Graph, src, dst []graph.VertexID, iters int) time.Duration {
+	eng := core.NewEngine(p, core.Options{})
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		eng.AncestryClosure(dst, core.Boundary{}, true)
+		eng.AncestryClosure(src, core.Boundary{}, false)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// FigCSR compares filtered-adjacency and CSR-snapshot runtimes across
+// graph sizes.
+func FigCSR(scale Scale) Figure {
+	var ns []int
+	switch scale {
+	case ScaleSmall:
+		ns = []int{1000, 5000, 10000}
+	case ScaleMedium:
+		ns = []int{5000, 20000, 50000}
+	default:
+		ns = []int{10000, 50000, 100000}
+	}
+	fig := Figure{
+		ID:      "csr",
+		Caption: "filtered adjacency vs frozen CSR snapshot (Pd graphs)",
+		XLabel:  "N",
+		YLabel:  "runtime",
+		Series:  []string{"seg filt", "seg CSR", "walk filt", "walk CSR", "walk speedup", "freeze"},
+	}
+	const reps = 3
+	for _, n := range ns {
+		p := pdGraph(gen.PdConfig{N: n, Seed: 1})
+		src, dst := gen.QueryAtRank(p, 0)
+
+		fStart := time.Now()
+		fz := p.Freeze()
+		freeze := time.Since(fStart)
+
+		iters := 2_000_000/n + 1
+		liveSeg := timeSegment(p, src, dst, reps)
+		snapSeg := timeSegment(fz, src, dst, reps)
+		liveWalk := timeWalk(p, src, dst, iters)
+		snapWalk := timeWalk(fz, src, dst, iters)
+
+		row := Row{X: fmt.Sprint(n), Cells: map[string]string{
+			"seg filt":  secs(liveSeg),
+			"seg CSR":   secs(snapSeg),
+			"walk filt": secs(liveWalk),
+			"walk CSR":  secs(snapWalk),
+			"freeze":    secs(freeze),
+		}}
+		if snapWalk > 0 {
+			row.Cells["walk speedup"] = fmt.Sprintf("%.1fx", float64(liveWalk)/float64(snapWalk))
+		} else {
+			row.Cells["walk speedup"] = "-"
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig
+}

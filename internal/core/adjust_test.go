@@ -65,7 +65,13 @@ func TestAdjustExpand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grown := eng.AdjustExpand(seg, core.Expansion{Within: []graph.VertexID{names["weights2"]}, K: 2})
+	grown, err := eng.AdjustExpand(seg, core.Expansion{Within: []graph.VertexID{names["weights2"]}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdjustExpand(seg, core.Expansion{Within: []graph.VertexID{1 << 30}, K: 1}); err == nil {
+		t.Fatal("out-of-range expansion vertex accepted")
+	}
 	if grown.NumVertices() <= seg.NumVertices() {
 		t.Fatal("expansion grew nothing")
 	}

@@ -127,6 +127,17 @@ type Graph struct {
 	in  [][]EdgeID // incoming edges per vertex
 
 	byLabel map[Label][]VertexID // label index over vertices
+
+	// frozen marks an immutable epoch snapshot (see Freeze); csr is its
+	// compressed-sparse-row adjacency index, nil on live graphs.
+	frozen bool
+	csr    *csrIndex
+	// snapV/snapE are the high-watermarks of the largest snapshot taken
+	// from this live graph. Everything below them is shared with lock-free
+	// snapshot readers and must stay immutable: appends are naturally safe
+	// (they only touch indices at or past the watermark), but property
+	// writes to pre-watermark vertices/edges would race and are rejected.
+	snapV, snapE int
 }
 
 // New returns an empty graph.
@@ -148,6 +159,7 @@ func (g *Graph) NumEdges() int { return len(g.eLabel) }
 
 // AddVertex appends a vertex with the given label and returns its id.
 func (g *Graph) AddVertex(label Label) VertexID {
+	g.mustBeLive()
 	id := VertexID(len(g.vLabel))
 	g.vLabel = append(g.vLabel, label)
 	g.vProps = append(g.vProps, nil)
@@ -160,6 +172,7 @@ func (g *Graph) AddVertex(label Label) VertexID {
 // AddEdge appends a directed edge src -> dst with the given label and
 // returns its id. Both endpoints must exist.
 func (g *Graph) AddEdge(src, dst VertexID, label Label) EdgeID {
+	g.mustBeLive()
 	if int(src) >= len(g.vLabel) || int(dst) >= len(g.vLabel) {
 		panic(fmt.Sprintf("graph: AddEdge endpoint out of range (src=%d dst=%d n=%d)", src, dst, len(g.vLabel)))
 	}
@@ -199,8 +212,23 @@ func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
 // InDegree returns the number of incoming edges of v.
 func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
 
-// SetVertexProp sets a property on a vertex.
+// mustBeLive guards mutations: snapshots are immutable by contract, and a
+// write slipping through would race with the snapshot's lock-free readers.
+func (g *Graph) mustBeLive() {
+	if g.frozen {
+		panic("graph: mutation of frozen snapshot")
+	}
+}
+
+// SetVertexProp sets a property on a vertex. The vertex must not be
+// covered by a snapshot taken from this graph (see Freeze): snapshot
+// readers access shared property maps lock-free, so only vertices appended
+// after the last freeze are writable.
 func (g *Graph) SetVertexProp(v VertexID, key string, val Value) {
+	g.mustBeLive()
+	if int(v) < g.snapV {
+		panic(fmt.Sprintf("graph: SetVertexProp(%d) below snapshot watermark %d", v, g.snapV))
+	}
 	if g.vProps[v] == nil {
 		g.vProps[v] = make(Props, 2)
 	}
@@ -219,8 +247,13 @@ func (g *Graph) VertexProp(v VertexID, key string) Value {
 // modify it.
 func (g *Graph) VertexProps(v VertexID) Props { return g.vProps[v] }
 
-// SetEdgeProp sets a property on an edge.
+// SetEdgeProp sets a property on an edge. Like SetVertexProp, the edge
+// must not be covered by a snapshot taken from this graph.
 func (g *Graph) SetEdgeProp(e EdgeID, key string, val Value) {
+	g.mustBeLive()
+	if int(e) < g.snapE {
+		panic(fmt.Sprintf("graph: SetEdgeProp(%d) below snapshot watermark %d", e, g.snapE))
+	}
 	if g.eProps[e] == nil {
 		g.eProps[e] = make(Props, 1)
 	}
@@ -244,8 +277,13 @@ func (g *Graph) EdgeProps(e EdgeID) Props { return g.eProps[e] }
 func (g *Graph) VerticesWithLabel(label Label) []VertexID { return g.byLabel[label] }
 
 // OutNeighbors appends to buf the destination vertices of v's outgoing
-// edges with the given label and returns the extended slice.
+// edges with the given label and returns the extended slice. On a frozen
+// graph this is one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
+	if g.csr != nil {
+		nbrs, _ := g.csr.rel(label, true).row(v)
+		return append(buf, nbrs...)
+	}
 	for _, e := range g.out[v] {
 		if g.eLabel[e] == label {
 			buf = append(buf, g.eDst[e])
@@ -255,8 +293,13 @@ func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID
 }
 
 // InNeighbors appends to buf the source vertices of v's incoming edges with
-// the given label and returns the extended slice.
+// the given label and returns the extended slice. On a frozen graph this is
+// one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) InNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
+	if g.csr != nil {
+		nbrs, _ := g.csr.rel(label, false).row(v)
+		return append(buf, nbrs...)
+	}
 	for _, e := range g.in[v] {
 		if g.eLabel[e] == label {
 			buf = append(buf, g.eSrc[e])

@@ -1,0 +1,211 @@
+package graph
+
+// Epoch snapshots. The graph is append-only (provenance is immutable
+// history), so a consistent read view is fully described by a watermark
+// (numVertices, numEdges): everything below the watermark never changes.
+// Freeze materializes such a view as a frozen *Graph that
+//
+//   - shares the immutable prefix of the live graph's columnar arrays
+//     (vertex/edge labels, endpoints, properties) via capped slice headers,
+//     so freezing copies O(V) headers, not the data itself, and
+//   - replaces the live per-vertex adjacency lists with a CSR
+//     (compressed-sparse-row) index: one contiguous edge array per
+//     direction plus, per edge label, contiguous neighbor/edge-id rows.
+//
+// A frozen graph answers every read the live graph does (the whole Graph
+// API works on it), but neighbor scans that previously filtered a mixed
+// edge list per call become contiguous slice reads. Mutations panic.
+//
+// Concurrency: a frozen graph shares no mutable state with its source.
+// Writers may keep appending to the live graph while any number of readers
+// traverse the snapshot; appends only ever touch indices at or beyond the
+// watermark, which no snapshot reader dereferences.
+
+// csrRel is the per-label CSR block of one direction: row v is
+// nbr[off[v]:off[v+1]] (the neighbor endpoints, in edge-insertion order)
+// with eid holding the matching edge ids.
+type csrRel struct {
+	off []uint32
+	nbr []VertexID
+	eid []EdgeID
+}
+
+// row returns the neighbor and edge-id rows of v (capped: appending to a
+// returned slice never clobbers the next row).
+func (r *csrRel) row(v VertexID) ([]VertexID, []EdgeID) {
+	if r == nil || int(v)+1 >= len(r.off) {
+		return nil, nil
+	}
+	a, b := r.off[v], r.off[v+1]
+	return r.nbr[a:b:b], r.eid[a:b:b]
+}
+
+// csrIndex is the frozen adjacency index: flat all-edge arrays backing the
+// per-vertex Out/In views, plus per-label neighbor rows for the hot
+// label-filtered scans. The per-label tables are dense slices indexed by
+// Label (labels are small interned ints) so a row lookup is two array
+// indexings — no hashing on the query path.
+type csrIndex struct {
+	outEdge, inEdge []EdgeID
+	outRel, inRel   []*csrRel // indexed by Label; nil = no edges of that label
+}
+
+// rel returns the per-label block for one direction (nil when no edge
+// carries the label).
+func (cs *csrIndex) rel(label Label, out bool) *csrRel {
+	t := cs.outRel
+	if !out {
+		t = cs.inRel
+	}
+	if int(label) >= len(t) {
+		return nil
+	}
+	return t[label]
+}
+
+// Frozen reports whether the graph is an immutable snapshot.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Freeze returns an immutable snapshot of the graph with a CSR adjacency
+// index. Freezing a frozen graph returns it unchanged.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	nv, ne := len(g.vLabel), len(g.eLabel)
+	fz := &Graph{
+		dict:    g.dict.clone(),
+		vLabel:  g.vLabel[:nv:nv],
+		vProps:  g.vProps[:nv:nv],
+		eLabel:  g.eLabel[:ne:ne],
+		eProps:  g.eProps[:ne:ne],
+		eSrc:    g.eSrc[:ne:ne],
+		eDst:    g.eDst[:ne:ne],
+		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
+		frozen:  true,
+	}
+	// The label index map must be copied (appends replace its slice-header
+	// values in place), but the id lists themselves are append-only.
+	for l, vs := range g.byLabel {
+		fz.byLabel[l] = vs[:len(vs):len(vs)]
+	}
+	fz.buildCSR(nv, ne)
+	// The snapshot shares this graph's columnar prefix; record the
+	// watermark so property writes below it are rejected (SetVertexProp).
+	if nv > g.snapV {
+		g.snapV, g.snapE = nv, ne
+	}
+	return fz
+}
+
+// buildCSR constructs the CSR index and the per-vertex Out/In views over it
+// with two counting-sort passes per direction. Within a row, edges appear in
+// ascending id order, matching the live graph's insertion-ordered lists.
+func (g *Graph) buildCSR(nv, ne int) {
+	nl := g.dict.Len()
+	cs := &csrIndex{
+		outEdge: make([]EdgeID, ne),
+		inEdge:  make([]EdgeID, ne),
+		outRel:  make([]*csrRel, nl),
+		inRel:   make([]*csrRel, nl),
+	}
+
+	// All-edge CSR, backing Out(v)/In(v).
+	outOff := make([]uint32, nv+1)
+	inOff := make([]uint32, nv+1)
+	for e := 0; e < ne; e++ {
+		outOff[g.eSrc[e]+1]++
+		inOff[g.eDst[e]+1]++
+	}
+	for v := 0; v < nv; v++ {
+		outOff[v+1] += outOff[v]
+		inOff[v+1] += inOff[v]
+	}
+	outCur := append([]uint32(nil), outOff...)
+	inCur := append([]uint32(nil), inOff...)
+	for e := 0; e < ne; e++ {
+		s, d := g.eSrc[e], g.eDst[e]
+		cs.outEdge[outCur[s]] = EdgeID(e)
+		outCur[s]++
+		cs.inEdge[inCur[d]] = EdgeID(e)
+		inCur[d]++
+	}
+	g.out = make([][]EdgeID, nv)
+	g.in = make([][]EdgeID, nv)
+	for v := 0; v < nv; v++ {
+		g.out[v] = cs.outEdge[outOff[v]:outOff[v+1]:outOff[v+1]]
+		g.in[v] = cs.inEdge[inOff[v]:inOff[v+1]:inOff[v+1]]
+	}
+
+	// Per-label CSR: count rows, prefix-sum, fill.
+	for e := 0; e < ne; e++ {
+		l := g.eLabel[e]
+		ob := cs.outRel[l]
+		if ob == nil {
+			ob = &csrRel{off: make([]uint32, nv+1)}
+			cs.outRel[l] = ob
+			cs.inRel[l] = &csrRel{off: make([]uint32, nv+1)}
+		}
+		ob.off[g.eSrc[e]+1]++
+		cs.inRel[l].off[g.eDst[e]+1]++
+	}
+	outPos := make([][]uint32, nl)
+	inPos := make([][]uint32, nl)
+	for l := 0; l < nl; l++ {
+		for _, b := range []*csrRel{cs.outRel[l], cs.inRel[l]} {
+			if b == nil {
+				continue
+			}
+			for v := 0; v < nv; v++ {
+				b.off[v+1] += b.off[v]
+			}
+			n := b.off[nv]
+			b.nbr = make([]VertexID, n)
+			b.eid = make([]EdgeID, n)
+		}
+		if cs.outRel[l] != nil {
+			outPos[l] = append([]uint32(nil), cs.outRel[l].off...)
+			inPos[l] = append([]uint32(nil), cs.inRel[l].off...)
+		}
+	}
+	for e := 0; e < ne; e++ {
+		l := g.eLabel[e]
+		s, d := g.eSrc[e], g.eDst[e]
+		ob, ib := cs.outRel[l], cs.inRel[l]
+		op, ip := outPos[l], inPos[l]
+		ob.nbr[op[s]] = d
+		ob.eid[op[s]] = EdgeID(e)
+		op[s]++
+		ib.nbr[ip[d]] = s
+		ib.eid[ip[d]] = EdgeID(e)
+		ip[d]++
+	}
+	g.csr = cs
+}
+
+// FrozenNeighbors returns the contiguous CSR row for v's neighbors over
+// edges with the given label: destination endpoints of v's out-edges when
+// out is true, source endpoints of its in-edges otherwise, with eids holding
+// the matching edge ids. ok is false when the graph is not frozen (callers
+// fall back to scanning the live adjacency lists). The returned slices must
+// not be modified.
+func (g *Graph) FrozenNeighbors(v VertexID, label Label, out bool) (nbrs []VertexID, eids []EdgeID, ok bool) {
+	if g.csr == nil {
+		return nil, nil, false
+	}
+	nbrs, eids = g.csr.rel(label, out).row(v)
+	return nbrs, eids, true
+}
+
+// clone returns an independent copy of the dictionary whose reads are safe
+// against concurrent Intern calls on the original.
+func (d *Dictionary) clone() *Dictionary {
+	nd := &Dictionary{
+		names: d.names[:len(d.names):len(d.names)],
+		ids:   make(map[string]Label, len(d.ids)),
+	}
+	for k, v := range d.ids {
+		nd.ids[k] = v
+	}
+	return nd
+}

@@ -165,6 +165,29 @@ func Wrap(g *graph.Graph) *Graph {
 // PG exposes the underlying property graph.
 func (p *Graph) PG() *graph.Graph { return p.g }
 
+// Freeze returns an immutable epoch snapshot of the provenance graph,
+// backed by graph.Freeze's CSR adjacency index. The snapshot shares no
+// mutable state with the live graph: writers may keep appending while any
+// number of readers query the snapshot lock-free. The label tables are
+// shared (they are fixed at Wrap time). Freezing a frozen graph returns it
+// unchanged.
+func (p *Graph) Freeze() *Graph {
+	if p.g.Frozen() {
+		return p
+	}
+	fp := &Graph{
+		g:          p.g.Freeze(),
+		kindLabels: p.kindLabels,
+		relLabels:  p.relLabels,
+		labelKind:  p.labelKind,
+		labelRel:   p.labelRel,
+	}
+	return fp
+}
+
+// Frozen reports whether this graph is an immutable snapshot.
+func (p *Graph) Frozen() bool { return p.g.Frozen() }
+
 // KindLabel returns the graph label for a vertex kind.
 func (p *Graph) KindLabel(k Kind) graph.Label { return p.kindLabels[k] }
 

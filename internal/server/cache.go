@@ -16,29 +16,39 @@ import (
 // query. PgSeg is the service's dominant workload and its CFL-reachability
 // solve is the expensive part, so repeated identical queries are served from
 // here. The cache is guarded by its own mutex (separate from the store's
-// graph RWMutex) so cache bookkeeping never serializes solver work.
+// write mutex) so cache bookkeeping never serializes solver work.
 //
-// Writes to the graph invalidate the whole cache: the graph is append-only,
-// so a cached segment stays structurally valid, but new vertices may extend
-// the similar-path language and change the correct answer.
+// Entries are tagged with the epoch they were last validated at; all
+// resident entries share that epoch (the invariant advance maintains). On
+// ingest commit the cache is revalidated against the delta instead of being
+// dropped wholesale: the graph is append-only, so a cached segment's answer
+// can only change if a newly appended edge is incident to a vertex in the
+// segment's support set (its ancestry closures, its vertices, its expansion
+// seeds — see core.Segment.Support). Entries the delta touches are purged
+// (they fall back to a full re-solve on the next request); the rest are
+// re-tagged with the new epoch and re-pointed at the new snapshot, the
+// incremental revalidation pass that only ever scans edges past the old
+// watermark.
 type segCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	byK map[string]*list.Element
-
-	// gen is bumped on every invalidation; a result solved against an older
-	// generation is dropped instead of inserted (see addIfGen).
-	gen atomic.Uint64
+	mu    sync.Mutex
+	cap   int
+	epoch uint64     // the epoch every resident entry is valid at
+	ll    *list.List // front = most recently used
+	byK   map[string]*list.Element
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
-	invalidations atomic.Uint64
+	invalidations atomic.Uint64 // entries purged because an ingest delta touched them
+	revalidations atomic.Uint64 // entries carried to a new epoch untouched
 }
 
 type cacheEntry struct {
 	key string
 	seg *core.Segment
+	// relOK is the admitted-relations mask of the query's boundary: delta
+	// edges of an excluded relationship type cannot appear in any traversal
+	// of this query and are skipped during revalidation.
+	relOK [8]bool
 }
 
 func newSegCache(capacity int) *segCache {
@@ -52,39 +62,40 @@ func newSegCache(capacity int) *segCache {
 	}
 }
 
-// get returns the cached segment for key, if any, and records a hit or miss.
-func (c *segCache) get(key string) (*core.Segment, bool) {
+// get returns the cached segment for key validated at the reader's epoch,
+// if any, and records a hit or miss. A reader pinned to an older snapshot
+// than the cache's epoch misses (it must not be served results that may
+// reference vertices past its watermark).
+func (c *segCache) get(key string, epoch uint64) (*core.Segment, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byK[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits.Add(1)
-		return el.Value.(*cacheEntry).seg, true
+	if epoch == c.epoch {
+		if el, ok := c.byK[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits.Add(1)
+			return el.Value.(*cacheEntry).seg, true
+		}
 	}
 	c.misses.Add(1)
 	return nil, false
 }
 
-// generation returns the current cache generation. Callers snapshot it while
-// holding the store's read lock, so no invalidation can be concurrent with
-// the snapshot's solve.
-func (c *segCache) generation() uint64 { return c.gen.Load() }
-
-// addIfGen inserts a result solved against generation gen, unless the cache
-// has been invalidated since (a writer got in after the solver released the
-// read lock), in which case the stale result is dropped.
-func (c *segCache) addIfGen(key string, seg *core.Segment, gen uint64) {
+// add inserts a result solved against the given epoch, unless the cache has
+// advanced since (a writer committed after the solver loaded its snapshot),
+// in which case the possibly stale result is dropped.
+func (c *segCache) add(key string, seg *core.Segment, relOK [8]bool, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen.Load() != gen {
+	if epoch != c.epoch {
 		return
 	}
 	if el, ok := c.byK[key]; ok {
-		el.Value.(*cacheEntry).seg = seg
+		en := el.Value.(*cacheEntry)
+		en.seg, en.relOK = seg, relOK
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, seg: seg})
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, seg: seg, relOK: relOK})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -92,14 +103,80 @@ func (c *segCache) addIfGen(key string, seg *core.Segment, gen uint64) {
 	}
 }
 
-// invalidate drops every entry and bumps the generation.
-func (c *segCache) invalidate() {
+// advance moves the cache from epoch old to ep, revalidating every entry
+// against the ingest delta (the edges in [old.Edges, ep.Edges)). Called by
+// the store with the write mutex held, before the new epoch is published.
+//
+// The delta scan itself runs without the cache mutex so a bulk ingest never
+// stalls concurrent reader lookups: once the epoch counter is bumped every
+// get misses anyway (no reader holds the new epoch until the store
+// publishes it, which happens only after advance returns), and no add can
+// land (solves in flight carry the old epoch). Entries and their support
+// sets are immutable outside the mutex.
+func (c *segCache) advance(ep, old *Epoch) {
+	c.mu.Lock()
+	c.epoch = ep.N
+	entries := make([]*cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+
+	stale := make([]bool, len(entries))
+	rebased := make([]*core.Segment, len(entries))
+	for i, en := range entries {
+		if deltaTouches(en, ep, old) {
+			stale[i] = true
+			continue
+		}
+		// Still exact at the new epoch: re-point the segment at the new
+		// snapshot (a fresh shallow copy, so readers holding the old one are
+		// unaffected).
+		rebased[i] = en.seg.Rebase(ep.P)
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen.Add(1)
-	c.invalidations.Add(1)
-	c.ll.Init()
-	c.byK = make(map[string]*list.Element, c.cap)
+	for i, en := range entries {
+		el, ok := c.byK[en.key]
+		if !ok || el.Value.(*cacheEntry) != en {
+			continue // entry was replaced or evicted meanwhile
+		}
+		if stale[i] {
+			c.ll.Remove(el)
+			delete(c.byK, en.key)
+			c.invalidations.Add(1)
+			continue
+		}
+		en.seg = rebased[i]
+		c.revalidations.Add(1)
+	}
+}
+
+// deltaTouches reports whether any edge ingested since the entry's last
+// validation is incident to the entry's support set. The support set is the
+// soundness boundary: on an append-only graph every path or SimProv
+// derivation the query result depends on enters the post-solve region
+// through a support vertex, so an untouched support means an unchanged
+// answer. New vertices can never be support members (the set is frozen at
+// solve time), so only the delta's old-side endpoints are probed.
+func deltaTouches(en *cacheEntry, ep, old *Epoch) bool {
+	sup := en.seg.Support()
+	if sup == nil {
+		return true // not a revalidatable segment; purge conservatively
+	}
+	p := ep.P
+	g := p.PG()
+	for e := old.Edges; e < ep.Edges; e++ {
+		eid := graph.EdgeID(e)
+		if !en.relOK[p.RelOf(eid)] {
+			continue
+		}
+		if sup.Contains(uint32(g.Src(eid))) || sup.Contains(uint32(g.Dst(eid))) {
+			return true
+		}
+	}
+	return false
 }
 
 // len returns the current entry count.
@@ -109,13 +186,18 @@ func (c *segCache) len() int {
 	return c.ll.Len()
 }
 
-// CacheStats is a snapshot of cache counters, surfaced via /stats.
+// CacheStats is a snapshot of cache counters, surfaced via /stats and
+// /metrics.
 type CacheStats struct {
-	Entries       int    `json:"entries"`
-	Capacity      int    `json:"capacity"`
-	Hits          uint64 `json:"hits"`
-	Misses        uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	// Invalidations counts entries purged because an ingest delta touched
+	// their support set; Revalidations counts entries carried across an
+	// ingest untouched (served afterwards without a re-solve).
 	Invalidations uint64 `json:"invalidations"`
+	Revalidations uint64 `json:"revalidations"`
 }
 
 func (c *segCache) stats() CacheStats {
@@ -125,6 +207,7 @@ func (c *segCache) stats() CacheStats {
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Invalidations: c.invalidations.Load(),
+		Revalidations: c.revalidations.Load(),
 	}
 }
 

@@ -72,6 +72,39 @@ type SegmentResponse struct {
 	DOT string `json:"dot,omitempty"`
 }
 
+// AdjustRequest is the POST /adjust body: the base segmentation query
+// (resolved through the segment cache) plus the interactive adjustment to
+// apply to its result — additional relationship-type exclusions
+// (AdjustExclude) and/or expansion boundaries (AdjustExpand). At least one
+// adjustment must be given.
+type AdjustRequest struct {
+	Segment SegmentRequest `json:"segment"`
+	// ExcludeRels are additional PROV edge types to exclude from the cached
+	// segment (one-letter names: U, G, S, A, D).
+	ExcludeRels []string `json:"exclude_rels,omitempty"`
+	// ExcludeKinds are PROV vertex kinds to exclude (one-letter names: E,
+	// A, U — e.g. "U" hides all agents). Query vertices always survive.
+	ExcludeKinds []string `json:"exclude_kinds,omitempty"`
+	// Expansions grow the segment by ancestry within k activities of the
+	// given entities.
+	Expansions []ExpansionSpec `json:"expansions,omitempty"`
+	// Format is "json" (default) or "dot".
+	Format string `json:"format,omitempty"`
+}
+
+// MetricsResponse is the GET /metrics payload: service-level counters for
+// observability — the current epoch, cache effectiveness (including how
+// often ingest deltas revalidated vs. purged cached segments), and
+// per-endpoint request counts since start.
+type MetricsResponse struct {
+	Epoch        uint64            `json:"epoch"`
+	Vertices     int               `json:"vertices"`
+	Edges        int               `json:"edges"`
+	UptimeMillis int64             `json:"uptime_ms"`
+	Cache        CacheStats        `json:"cache"`
+	Requests     map[string]uint64 `json:"requests"`
+}
+
 // SegmentSpec identifies one input segment of a summarization request.
 type SegmentSpec struct {
 	Src         []uint32 `json:"src"`
@@ -204,6 +237,24 @@ func parseRels(names []string) ([]prov.Rel, error) {
 			out = append(out, prov.RelDeriv)
 		default:
 			return nil, fmt.Errorf("unknown relationship %q (want U, G, S, A, D)", n)
+		}
+	}
+	return out, nil
+}
+
+// parseKinds maps one-letter vertex kind names to prov.Kind values.
+func parseKinds(names []string) ([]prov.Kind, error) {
+	var out []prov.Kind
+	for _, n := range names {
+		switch strings.ToUpper(strings.TrimSpace(n)) {
+		case "E":
+			out = append(out, prov.KindEntity)
+		case "A":
+			out = append(out, prov.KindActivity)
+		case "U":
+			out = append(out, prov.KindAgent)
+		default:
+			return nil, fmt.Errorf("unknown vertex kind %q (want E, A, U)", n)
 		}
 	}
 	return out, nil

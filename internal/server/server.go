@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -36,25 +37,46 @@ const (
 //	POST /segment    PgSeg query                     (read)
 //	POST /summarize  PgSum over segment queries      (read)
 //	POST /query      Cypher-subset query             (read)
+//	POST /adjust     interactive adjust of a cached segment (read)
 //	POST /ingest     lifecycle mutation batch        (write)
 //	GET  /stats      graph + cache statistics        (read)
+//	GET  /metrics    service counters (epoch, cache, per-endpoint requests)
 //	GET  /healthz    liveness probe
 //	GET  /export     whole-graph export: ?format=prov-json | dot | pg
+//
+// All reads run lock-free against the store's current epoch snapshot; only
+// /ingest takes the write mutex.
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
+	store    *Store
+	mux      *http.ServeMux
+	requests map[string]*atomic.Uint64 // per-endpoint request counters
 }
 
 // NewServer builds the HTTP API over store.
 func NewServer(store *Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /segment", s.handleSegment)
-	s.mux.HandleFunc("POST /summarize", s.handleSummarize)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /export", s.handleExport)
+	s := &Server{store: store, mux: http.NewServeMux(), requests: make(map[string]*atomic.Uint64)}
+	for _, ep := range []struct {
+		pattern, name string
+		h             http.HandlerFunc
+	}{
+		{"POST /segment", "segment", s.handleSegment},
+		{"POST /summarize", "summarize", s.handleSummarize},
+		{"POST /query", "query", s.handleQuery},
+		{"POST /adjust", "adjust", s.handleAdjust},
+		{"POST /ingest", "ingest", s.handleIngest},
+		{"GET /stats", "stats", s.handleStats},
+		{"GET /metrics", "metrics", s.handleMetrics},
+		{"GET /healthz", "healthz", s.handleHealthz},
+		{"GET /export", "export", s.handleExport},
+	} {
+		ctr := &atomic.Uint64{}
+		s.requests[ep.name] = ctr
+		h := ep.h
+		s.mux.HandleFunc(ep.pattern, func(w http.ResponseWriter, r *http.Request) {
+			ctr.Add(1)
+			h(w, r)
+		})
+	}
 	return s
 }
 
@@ -125,6 +147,82 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	seg, cached, err := s.store.Segment(q, opts, !req.NoCache)
 	if err != nil {
 		writeErr(w, queryErrCode(err), "segment: %v", err)
+		return
+	}
+	var resp *SegmentResponse
+	var dotErr error
+	s.store.View(func(p *prov.Graph) {
+		if format == FormatDOT {
+			var b strings.Builder
+			dotErr = seg.WriteDOT(&b)
+			resp = &SegmentResponse{
+				NumVertices: seg.NumVertices(),
+				NumEdges:    seg.NumEdges(),
+				Cached:      cached,
+				DOT:         b.String(),
+			}
+			return
+		}
+		resp = encodeSegment(p, seg, cached)
+	})
+	if dotErr != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", dotErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdjust serves the paper's interactive adjust step: the base PgSeg
+// query is resolved through the segment cache, then the requested
+// AdjustExclude / AdjustExpand refinements derive the adjusted segment
+// without re-running the solver.
+func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
+	var req AdjustRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	format := strings.ToLower(req.Format)
+	if format != "" && format != FormatJSON && format != FormatDOT {
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want json, dot)", req.Format)
+		return
+	}
+	q, opts, err := req.Segment.toQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rels, err := parseRels(req.ExcludeRels)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	kinds, err := parseKinds(req.ExcludeKinds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	excl := core.Boundary{ExcludeRels: rels}
+	if len(kinds) > 0 {
+		excl.VertexFilters = []core.VertexFilter{func(p *prov.Graph, v graph.VertexID) bool {
+			for _, k := range kinds {
+				if p.IsKind(v, k) {
+					return false
+				}
+			}
+			return true
+		}}
+	}
+	exps := make([]core.Expansion, 0, len(req.Expansions))
+	for _, ex := range req.Expansions {
+		exps = append(exps, core.Expansion{Within: toVertexIDs(ex.Within), K: ex.K})
+	}
+	if len(rels) == 0 && len(kinds) == 0 && len(exps) == 0 {
+		writeErr(w, http.StatusBadRequest, "adjust: needs exclude_rels, exclude_kinds or expansions")
+		return
+	}
+	seg, cached, err := s.store.Adjust(q, opts, excl, exps)
+	if err != nil {
+		writeErr(w, queryErrCode(err), "adjust: %v", err)
 		return
 	}
 	var resp *SegmentResponse
@@ -336,6 +434,22 @@ func validateOp(p *prov.Graph, op IngestOp) error {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ep := s.store.Epoch()
+	resp := MetricsResponse{
+		Epoch:        ep.N,
+		Vertices:     ep.Vertices,
+		Edges:        ep.Edges,
+		UptimeMillis: s.store.Uptime().Milliseconds(),
+		Cache:        s.store.CacheStats(),
+		Requests:     make(map[string]uint64, len(s.requests)),
+	}
+	for name, ctr := range s.requests {
+		resp.Requests[name] = ctr.Load()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -10,7 +10,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/cypher"
 	"repro/internal/graph"
 	"repro/internal/prov"
 )
@@ -447,6 +450,245 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /segment: want 405, got %d", resp.StatusCode)
+	}
+}
+
+// TestReadsDontBlockOnWriteLock is the epoch-snapshot architecture's key
+// property: queries never acquire the store's write lock — they load a
+// snapshot pointer. The test holds the write lock for the whole duration of
+// a segmentation, a summarization and a Cypher query and requires all three
+// to complete while it is held.
+func TestReadsDontBlockOnWriteLock(t *testing.T) {
+	p, ids := testLifecycle()
+	store := NewStore(p, 16)
+	q := core.Query{
+		Src: []graph.VertexID{ids["dataset"]},
+		Dst: []graph.VertexID{ids["model-v2"]},
+	}
+
+	err := store.Update(func(rec *prov.Recorder) error {
+		// The write lock is held right now. Run the read path to completion
+		// on another goroutine; if it ever needed the lock this would
+		// deadlock, so a timeout converts that into a test failure.
+		done := make(chan error, 1)
+		go func() {
+			if _, _, err := store.Segment(q, core.Options{}, true); err != nil {
+				done <- err
+				return
+			}
+			if _, err := store.Summarize([]core.Query{q}, core.Options{}, core.SumOptions{}); err != nil {
+				done <- err
+				return
+			}
+			_, err := store.Cypher("match (e:E) where id(e) in [0] return e", cypher.Options{})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("query blocked behind the held write lock")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochRevalidation checks the incremental cache revalidation path: an
+// ingest batch disconnected from a cached query's support set must carry
+// the entry to the new epoch (the repeat is a cache hit, not a re-solve),
+// while a batch touching the support must purge it.
+func TestEpochRevalidation(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	seg := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["model-v2"])},
+	}
+	var r SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r)
+	if r.Cached {
+		t.Fatal("first query cached")
+	}
+
+	// A side project by a new agent: every new edge connects only new
+	// vertices, so the delta cannot touch the cached query's support set.
+	side := IngestRequest{Ops: []IngestOp{
+		{Op: "agent", Agent: "zoe"},
+		{Op: "run", Agent: "zoe", Command: "side-work", Outputs: []string{"side-artifact"}},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", side, nil); code != 200 {
+		t.Fatal("side ingest failed")
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r)
+	if !r.Cached {
+		t.Fatal("disconnected ingest forced a re-solve instead of revalidating")
+	}
+	var m MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.Cache.Revalidations != 1 || m.Cache.Invalidations != 0 {
+		t.Fatalf("revalidation counters: %+v", m.Cache)
+	}
+	if m.Epoch != 1 {
+		t.Fatalf("epoch: want 1, got %d", m.Epoch)
+	}
+
+	// A run consuming model-v2 attaches to the cached segment's support:
+	// the entry must be purged and the repeat re-solved against the new
+	// snapshot (here the answer happens to be unchanged — new provenance is
+	// downstream of the query — but the cache must not assume that).
+	nBefore := r.NumVertices
+	touch := IngestRequest{Ops: []IngestOp{
+		{Op: "run", Agent: "alice", Command: "train -v3", Inputs: []uint32{uint32(ids["model-v2"])}, Outputs: []string{"model"}},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/ingest", touch, nil); code != 200 {
+		t.Fatal("touching ingest failed")
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &r)
+	if r.Cached {
+		t.Fatal("attached ingest did not purge the cached entry")
+	}
+	if r.NumVertices != nBefore {
+		t.Fatalf("re-solve changed a query whose ancestry is fixed: %d vs %d", r.NumVertices, nBefore)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.Cache.Invalidations != 1 {
+		t.Fatalf("invalidation counter: %+v", m.Cache)
+	}
+	if m.Epoch != 2 {
+		t.Fatalf("epoch: want 2, got %d", m.Epoch)
+	}
+}
+
+func TestAdjustEndpoint(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	base := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["report"])},
+	}
+
+	// Excluding the agent vertex kind must drop every agent the base
+	// segment contains, and their incident S/A edges with them.
+	var baseResp SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", base, &baseResp)
+	agents, agentEdges := 0, 0
+	for _, v := range baseResp.Vertices {
+		if v.Kind == "U" {
+			agents++
+		}
+	}
+	for _, e := range baseResp.Edges {
+		if e.Rel == "S" || e.Rel == "A" {
+			agentEdges++
+		}
+	}
+	if agents == 0 || agentEdges == 0 {
+		t.Fatal("base segment has no agents; test premise broken")
+	}
+	var adj SegmentResponse
+	req := AdjustRequest{Segment: base, ExcludeKinds: []string{"U"}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/adjust", req, &adj); code != 200 {
+		t.Fatalf("adjust: status %d", code)
+	}
+	if !adj.Cached {
+		t.Fatal("adjust base should have hit the entry cached by /segment")
+	}
+	if adj.NumVertices != baseResp.NumVertices-agents {
+		t.Fatalf("exclude did not drop the %d agents: %d -> %d", agents, baseResp.NumVertices, adj.NumVertices)
+	}
+	for _, v := range adj.Vertices {
+		if v.Kind == "U" {
+			t.Fatalf("agent %d survived the exclusion", v.ID)
+		}
+	}
+
+	// Excluding the S/A relationship types drops the edges but keeps the
+	// (now isolated) agent vertices — the edge-level adjust.
+	var relAdj SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/adjust", AdjustRequest{Segment: base, ExcludeRels: []string{"S", "A"}}, &relAdj)
+	if relAdj.NumEdges != baseResp.NumEdges-agentEdges {
+		t.Fatalf("rel exclude did not drop the %d agent edges: %d -> %d", agentEdges, baseResp.NumEdges, relAdj.NumEdges)
+	}
+	for _, e := range relAdj.Edges {
+		if e.Rel == "S" || e.Rel == "A" {
+			t.Fatalf("edge %d (%s) survived the exclusion", e.ID, e.Rel)
+		}
+	}
+
+	// Expanding a narrower segment around the report entity must grow it.
+	narrow := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["model-v1"])},
+	}
+	var narrowResp SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/segment", narrow, &narrowResp)
+	grow := AdjustRequest{
+		Segment:    narrow,
+		Expansions: []ExpansionSpec{{Within: []uint32{uint32(ids["report"])}, K: 2}},
+	}
+	var grown SegmentResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/adjust", grow, &grown); code != 200 {
+		t.Fatalf("adjust expand: status %d", code)
+	}
+	if grown.NumVertices <= narrowResp.NumVertices {
+		t.Fatalf("expansion did not grow the segment: %d <= %d", grown.NumVertices, narrowResp.NumVertices)
+	}
+
+	// Bad requests.
+	cases := []struct {
+		name string
+		req  any
+	}{
+		{"no adjustment", AdjustRequest{Segment: base}},
+		{"bad rel", AdjustRequest{Segment: base, ExcludeRels: []string{"Z"}}},
+		{"expansion out of range", AdjustRequest{Segment: base,
+			Expansions: []ExpansionSpec{{Within: []uint32{4_000_000_000}, K: 1}}}},
+		{"bad base", AdjustRequest{Segment: SegmentRequest{Dst: base.Dst}, ExcludeRels: []string{"S"}}},
+	}
+	for _, tc := range cases {
+		var errResp ErrorResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/adjust", tc.req, &errResp); code != 400 {
+			t.Errorf("%s: want 400, got %d", tc.name, code)
+		}
+	}
+
+	// DOT format.
+	dotReq := AdjustRequest{Segment: base, ExcludeRels: []string{"S"}, Format: "dot"}
+	var dotResp SegmentResponse
+	doJSON(t, http.MethodPost, ts.URL+"/adjust", dotReq, &dotResp)
+	if !strings.Contains(dotResp.DOT, "digraph provenance") {
+		t.Fatalf("no DOT payload: %+v", dotResp)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, ids := newTestServer(t)
+	doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil)
+	seg := SegmentRequest{
+		Src: []uint32{uint32(ids["dataset"])},
+		Dst: []uint32{uint32(ids["model-v1"])},
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/segment", seg, nil)
+
+	var m MetricsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Epoch != 0 {
+		t.Fatalf("epoch: %d", m.Epoch)
+	}
+	if m.Vertices == 0 || m.Edges == 0 {
+		t.Fatalf("watermark empty: %+v", m)
+	}
+	if m.Requests["segment"] != 2 || m.Requests["healthz"] != 1 || m.Requests["metrics"] != 1 {
+		t.Fatalf("request counters: %+v", m.Requests)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("cache counters: %+v", m.Cache)
+	}
+	if m.UptimeMillis < 0 {
+		t.Fatalf("uptime: %d", m.UptimeMillis)
 	}
 }
 

@@ -2,22 +2,25 @@
 // provenance graph (the serving layer of the paper's provenance data
 // manager). It has three layers:
 //
-//  1. Store — a concurrency-safe wrapper around the PROV graph and its
-//     lifecycle recorder. Segmentation, summarization and Cypher evaluation
-//     run under a shared read lock (the operators only read the graph);
-//     ingest runs under the exclusive write lock.
+//  1. Store — epoch-snapshot concurrency over the PROV graph and its
+//     lifecycle recorder. Every read (segmentation, summarization, Cypher,
+//     stats, exports) runs lock-free against an immutable frozen snapshot
+//     (prov.Freeze) reached through one atomic pointer load; ingest
+//     serializes behind a write mutex and publishes a new snapshot on
+//     commit. Readers never block on writers.
 //  2. Wire codecs (codec.go) — JSON request/response types for every
 //     endpoint, plus DOT and PROV-JSON output formats reusing the existing
 //     renderers.
-//  3. Result cache (cache.go) — an LRU over canonicalized PgSeg queries,
-//     invalidated on writes.
+//  3. Result cache (cache.go) — an LRU over canonicalized PgSeg queries
+//     whose entries are tagged with the epoch they were solved at and
+//     revalidated incrementally against each ingest delta.
 package server
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,20 +29,34 @@ import (
 	"repro/internal/prov"
 )
 
-// Store is the concurrency-safe graph wrapper the HTTP handlers talk to.
+// Epoch is one immutable snapshot of the graph, published atomically on
+// every committed ingest batch. N counts committed batches; P is the frozen
+// CSR-indexed provenance graph; Vertices/Edges are the snapshot watermark
+// (the graph is append-only, so the watermark fully identifies the state).
+type Epoch struct {
+	N        uint64
+	P        *prov.Graph
+	Vertices int
+	Edges    int
+}
+
+// Store is the graph wrapper the HTTP handlers talk to.
 //
-// The underlying property graph is append-only and single-writer-unsafe, so
-// the store serializes mutations behind mu while letting any number of
-// queries share the read side. Cached segments survive across reads; any
-// write purges them (see segCache).
+// The underlying property graph is append-only and single-writer-unsafe.
+// The store serializes mutations behind writeMu; the read path takes no
+// lock at all — it loads the current Epoch pointer and queries the frozen
+// snapshot, which shares no mutable state with the live graph. A reader
+// that raced with an ingest simply observes the previous epoch, which is a
+// consistent point-in-time view.
 type Store struct {
-	mu  sync.RWMutex
-	rec *prov.Recorder
+	// writeMu serializes ingest batches, snapshot publication and cache
+	// revalidation. Readers never take it.
+	writeMu sync.Mutex
+	rec     *prov.Recorder
+
+	snap atomic.Pointer[Epoch]
 
 	cache *segCache
-
-	// writes counts committed ingest batches (the store generation).
-	writes uint64
 
 	started time.Time
 }
@@ -47,38 +64,55 @@ type Store struct {
 // NewStore wraps an existing PROV graph. cacheCap bounds the segment cache
 // (entries; <=0 selects the default).
 func NewStore(p *prov.Graph, cacheCap int) *Store {
-	return &Store{
+	s := &Store{
 		rec:     prov.WrapRecorder(p),
 		cache:   newSegCache(cacheCap),
 		started: time.Now(),
 	}
+	fz := p.Freeze()
+	s.snap.Store(&Epoch{N: 0, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()})
+	return s
 }
 
-// View runs fn under the shared read lock. fn must not retain p past the
-// call.
+// Epoch returns the current snapshot. The result is immutable and safe to
+// query for any length of time.
+func (s *Store) Epoch() *Epoch { return s.snap.Load() }
+
+// View runs fn against the current snapshot. Kept for call-site symmetry
+// with the old locked read path; fn may retain p — snapshots are immutable.
 func (s *Store) View(fn func(p *prov.Graph)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fn(s.rec.P)
+	fn(s.snap.Load().P)
 }
 
-// Update runs fn under the exclusive write lock; if fn succeeds, the write
-// generation advances and the segment cache is invalidated.
+// Update runs fn under the exclusive write lock; if fn succeeds, a new
+// frozen snapshot is built and published, and the segment cache is
+// revalidated against the ingest delta (entries whose support the delta
+// touches are purged; the rest carry over to the new epoch).
 func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := fn(s.rec); err != nil {
 		return err
 	}
-	s.writes++
-	s.cache.invalidate()
+	old := s.snap.Load()
+	fz := s.rec.P.Freeze()
+	ep := &Epoch{N: old.N + 1, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+	s.cache.advance(ep, old)
+	s.snap.Store(ep)
 	return nil
 }
 
-// Segment evaluates a PgSeg query, serving repeats from the LRU cache when
-// the query is canonicalizable and useCache is true. It reports whether the
-// result came from the cache.
+// Segment evaluates a PgSeg query against the current snapshot, serving
+// repeats from the LRU cache when the query is canonicalizable and useCache
+// is true. It reports whether the result came from the cache.
 func (s *Store) Segment(q core.Query, opts core.Options, useCache bool) (*core.Segment, bool, error) {
+	return s.segmentAt(s.snap.Load(), q, opts, useCache)
+}
+
+// segmentAt evaluates one segment query against a pinned snapshot. Cache
+// hits require the entry's validation epoch to match the snapshot's, so a
+// reader never mixes results across epochs.
+func (s *Store) segmentAt(ep *Epoch, q core.Query, opts core.Options, useCache bool) (*core.Segment, bool, error) {
 	key := ""
 	if useCache {
 		var ok bool
@@ -86,62 +120,72 @@ func (s *Store) Segment(q core.Query, opts core.Options, useCache bool) (*core.S
 		useCache = ok
 	}
 	if useCache {
-		if seg, ok := s.cache.get(key); ok {
+		if seg, ok := s.cache.get(key, ep.N); ok {
 			return seg, true, nil
 		}
 	}
-	seg, gen, err := func() (*core.Segment, uint64, error) {
-		s.mu.RLock()
-		defer s.mu.RUnlock() // deferred: a solver panic must not leak the RLock
-		gen := s.cache.generation()
-		seg, err := core.NewEngine(s.rec.P, opts).Segment(q)
-		return seg, gen, err
-	}()
+	seg, err := core.NewEngine(ep.P, opts).Segment(q)
 	if err != nil {
 		return nil, false, err
 	}
 	if useCache {
-		s.cache.addIfGen(key, seg, gen)
+		s.cache.add(key, seg, relMask(q.Boundary.ExcludeRels), ep.N)
 	}
 	return seg, false, nil
 }
 
 // Summarize evaluates the segment queries (through the cache) and combines
-// the results with PgSum. The whole evaluation holds one read lock so every
-// segment and the summary reflect a single graph state even with concurrent
-// ingest; cache hits are safe to mix in because any write purges the cache,
-// so a surviving entry is always from the current generation.
+// the results with PgSum. All segments and the summary are evaluated
+// against one pinned snapshot, so the result reflects a single graph state
+// even with concurrent ingest.
 func (s *Store) Summarize(queries []core.Query, segOpts core.Options, sumOpts core.SumOptions) (*core.Psg, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	gen := s.cache.generation()
+	ep := s.snap.Load()
 	segs := make([]*core.Segment, 0, len(queries))
 	for i, q := range queries {
-		key, cacheable := segKey(q, segOpts)
-		if cacheable {
-			if seg, ok := s.cache.get(key); ok {
-				segs = append(segs, seg)
-				continue
-			}
-		}
-		seg, err := core.NewEngine(s.rec.P, segOpts).Segment(q)
+		seg, _, err := s.segmentAt(ep, q, segOpts, true)
 		if err != nil {
 			return nil, fmt.Errorf("segment %d: %w", i, err)
-		}
-		if cacheable {
-			s.cache.addIfGen(key, seg, gen)
 		}
 		segs = append(segs, seg)
 	}
 	return core.Summarize(segs, sumOpts)
 }
 
-// Cypher evaluates a query in the supported Cypher subset.
-func (s *Store) Cypher(query string, opts cypher.Options) (*cypher.Result, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return cypher.NewProvEvaluator(s.rec.P, opts).Run(query)
+// Adjust applies the paper's interactive adjust step to a (cached) segment:
+// the base query is resolved through the cache, then AdjustExclude (with
+// the given exclusion boundary) and/or AdjustExpand derive the adjusted
+// result against the same snapshot. It reports whether the base segment
+// came from the cache. Adjusted results are derived views and are not
+// inserted back into the cache.
+func (s *Store) Adjust(q core.Query, opts core.Options, excl core.Boundary, exps []core.Expansion) (*core.Segment, bool, error) {
+	ep := s.snap.Load()
+	seg, cached, err := s.segmentAt(ep, q, opts, true)
+	if err != nil {
+		return nil, false, err
+	}
+	eng := core.NewEngine(ep.P, opts)
+	if len(excl.ExcludeRels) > 0 || len(excl.VertexFilters) > 0 || len(excl.EdgeFilters) > 0 {
+		seg = eng.AdjustExclude(seg, excl)
+	}
+	for _, ex := range exps {
+		if seg, err = eng.AdjustExpand(seg, ex); err != nil {
+			return nil, false, err
+		}
+	}
+	return seg, cached, nil
 }
+
+// Cypher evaluates a query in the supported Cypher subset against the
+// current snapshot.
+func (s *Store) Cypher(query string, opts cypher.Options) (*cypher.Result, error) {
+	return cypher.NewProvEvaluator(s.snap.Load().P, opts).Run(query)
+}
+
+// CacheStats snapshots the segment-cache counters.
+func (s *Store) CacheStats() CacheStats { return s.cache.stats() }
+
+// Uptime returns the service uptime.
+func (s *Store) Uptime() time.Duration { return time.Since(s.started) }
 
 // StoreStats is the /stats payload: graph shape, cache counters, and service
 // uptime.
@@ -152,17 +196,16 @@ type StoreStats struct {
 	EdgeByLabel   map[string]int `json:"edge_by_label"`
 	MaxOutDegree  int            `json:"max_out_degree"`
 	MaxInDegree   int            `json:"max_in_degree"`
+	Epoch         uint64         `json:"epoch"`
 	Writes        uint64         `json:"writes"`
 	Cache         CacheStats     `json:"cache"`
 	UptimeMillis  int64          `json:"uptime_ms"`
 }
 
-// Stats snapshots the store.
+// Stats snapshots the store. Lock-free: it reads the current epoch.
 func (s *Store) Stats() StoreStats {
-	s.mu.RLock()
-	st := s.rec.P.PG().Stats()
-	writes := s.writes
-	s.mu.RUnlock()
+	ep := s.snap.Load()
+	st := ep.P.PG().Stats()
 	return StoreStats{
 		Vertices:      st.Vertices,
 		Edges:         st.Edges,
@@ -170,54 +213,33 @@ func (s *Store) Stats() StoreStats {
 		EdgeByLabel:   st.EdgeByLabel,
 		MaxOutDegree:  st.MaxOutDegree,
 		MaxInDegree:   st.MaxInDegree,
-		Writes:        writes,
+		Epoch:         ep.N,
+		Writes:        ep.N,
 		Cache:         s.cache.stats(),
 		UptimeMillis:  time.Since(s.started).Milliseconds(),
 	}
 }
 
-// The export methods render into a buffer under the read lock and stream to
-// the client only after releasing it: the client may drain the body
-// arbitrarily slowly, and a held RLock would queue a waiting writer behind
-// it — which in turn blocks every new reader (one slow export client must
-// not be able to stall the whole service).
+// The export methods render straight from the current snapshot: it is
+// immutable, so a slow client draining the response can never stall ingest
+// or other readers (the old read-lock design had to buffer in memory first).
 
 // ExportJSON writes the whole graph as PROV-JSON (prov/json.go's format).
 func (s *Store) ExportJSON(w io.Writer) error {
-	return s.renderThenStream(w, func(buf io.Writer) error {
-		return s.rec.P.ExportJSON(buf)
-	})
+	return s.snap.Load().P.ExportJSON(w)
 }
 
 // ExportDOT writes the whole graph in graphviz DOT (graph/dot.go).
 func (s *Store) ExportDOT(w io.Writer) error {
-	return s.renderThenStream(w, func(buf io.Writer) error {
-		return s.rec.P.PG().WriteDOT(buf, graph.DOTOptions{
-			NameProp:    prov.PropName,
-			VertexShape: provShapes,
-		})
+	return s.snap.Load().P.PG().WriteDOT(w, graph.DOTOptions{
+		NameProp:    prov.PropName,
+		VertexShape: provShapes,
 	})
 }
 
 // Save writes the graph in the binary .pg format (graph/store.go).
 func (s *Store) Save(w io.Writer) error {
-	return s.renderThenStream(w, func(buf io.Writer) error {
-		return s.rec.P.PG().Save(buf)
-	})
-}
-
-// renderThenStream runs render into a memory buffer under the read lock,
-// then copies the result to w lock-free.
-func (s *Store) renderThenStream(w io.Writer, render func(io.Writer) error) error {
-	var buf bytes.Buffer
-	s.mu.RLock()
-	err := render(&buf)
-	s.mu.RUnlock()
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(buf.Bytes())
-	return err
+	return s.snap.Load().P.PG().Save(w)
 }
 
 // provShapes is the DOT shape convention shared with the CLI renderers.
@@ -225,4 +247,17 @@ var provShapes = map[string]string{
 	"v:E": "ellipse",
 	"v:A": "box",
 	"v:U": "house",
+}
+
+// relMask converts a boundary's excluded relationship types into the
+// admitted-relations mask cache entries carry for delta revalidation.
+func relMask(excluded []prov.Rel) [8]bool {
+	var ok [8]bool
+	for i := range ok {
+		ok[i] = true
+	}
+	for _, r := range excluded {
+		ok[r] = false
+	}
+	return ok
 }

@@ -233,7 +233,7 @@ func (g *Graph) AdjustExclude(s *Segment, b Boundary) *Segment {
 }
 
 // AdjustExpand grows a cached segment by an expansion specification.
-func (g *Graph) AdjustExpand(s *Segment, ex Expansion) *Segment {
+func (g *Graph) AdjustExpand(s *Segment, ex Expansion) (*Segment, error) {
 	return core.NewEngine(g.rec.P, SegmentOptions{}).AdjustExpand(s, ex)
 }
 

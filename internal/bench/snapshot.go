@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graph/difftest"
 	"repro/internal/prov"
 )
 
@@ -16,8 +17,10 @@ import (
 // the full PgSeg solve (dominated by the VC2 solver's bitset kernel, so
 // representation-insensitive) and the pure ancestry walk (VC1's closure —
 // the adjacency-bound traversal the CSR accelerates, which also drives
-// expansions and segment assembly). The one-time freeze cost a commit pays
-// is reported alongside.
+// expansions and segment assembly). The freeze cost a commit pays is
+// reported both ways the serving layer can build a snapshot: the full CSR
+// rebuild and the incremental extension of the previous epoch by a ~1%
+// ingest delta (graph.ExtendFrozen — the provd commit path).
 
 // timeSegment measures one full PgSeg evaluation (best of reps).
 func timeSegment(p *prov.Graph, src, dst []graph.VertexID, reps int) time.Duration {
@@ -64,17 +67,17 @@ func FigCSR(scale Scale) Figure {
 		Caption: "filtered adjacency vs frozen CSR snapshot (Pd graphs)",
 		XLabel:  "N",
 		YLabel:  "runtime",
-		Series:  []string{"seg filt", "seg CSR", "walk filt", "walk CSR", "walk speedup", "freeze"},
+		Series: []string{"seg filt", "seg CSR", "walk filt", "walk CSR", "walk speedup",
+			"freeze full", "freeze incr", "freeze speedup"},
 	}
 	const reps = 3
 	for _, n := range ns {
 		p := pdGraph(gen.PdConfig{N: n, Seed: 1})
 		src, dst := gen.QueryAtRank(p, 0)
 
-		fStart := time.Now()
-		fz := p.Freeze()
-		freeze := time.Since(fStart)
+		freeze, freezeIncr := timeFreezes(p, reps)
 
+		fz := p.Freeze()
 		iters := 2_000_000/n + 1
 		liveSeg := timeSegment(p, src, dst, reps)
 		snapSeg := timeSegment(fz, src, dst, reps)
@@ -82,18 +85,62 @@ func FigCSR(scale Scale) Figure {
 		snapWalk := timeWalk(fz, src, dst, iters)
 
 		row := Row{X: fmt.Sprint(n), Cells: map[string]string{
-			"seg filt":  secs(liveSeg),
-			"seg CSR":   secs(snapSeg),
-			"walk filt": secs(liveWalk),
-			"walk CSR":  secs(snapWalk),
-			"freeze":    secs(freeze),
+			"seg filt":    secs(liveSeg),
+			"seg CSR":     secs(snapSeg),
+			"walk filt":   secs(liveWalk),
+			"walk CSR":    secs(snapWalk),
+			"freeze full": secs(freeze),
+			"freeze incr": secs(freezeIncr),
 		}}
 		if snapWalk > 0 {
 			row.Cells["walk speedup"] = fmt.Sprintf("%.1fx", float64(liveWalk)/float64(snapWalk))
 		} else {
 			row.Cells["walk speedup"] = "-"
 		}
+		if freezeIncr > 0 {
+			row.Cells["freeze speedup"] = fmt.Sprintf("%.1fx", float64(freeze)/float64(freezeIncr))
+		} else {
+			row.Cells["freeze speedup"] = "-"
+		}
 		fig.Rows = append(fig.Rows, row)
 	}
 	return fig
+}
+
+// timeFreezes measures, on the same graph state, the two ways a commit can
+// build its epoch snapshot: a full CSR rebuild and an incremental extension
+// of the previous epoch (graph.ExtendFrozen) whose delta is the last ~1% of
+// the graph's edges — a large ingest batch. The graph is replayed so the
+// pre-delta epoch exists as a real snapshot; both timings are best-of-reps.
+func timeFreezes(p *prov.Graph, reps int) (full, incremental time.Duration) {
+	src := p.PG()
+	rep := difftest.NewReplayer(src)
+	ne := src.NumEdges()
+	delta := ne / 100
+	if delta < 50 {
+		delta = 50
+	}
+	rep.StepEdges(ne - delta)
+	prev := rep.Graph().Freeze()
+	rep.StepEdges(ne)
+	rep.FinishVertices()
+	live := rep.Graph()
+
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		live.Freeze()
+		if d := time.Since(start); i == 0 || d < full {
+			full = d
+		}
+		start = time.Now()
+		_, ok := live.ExtendFrozen(prev)
+		d := time.Since(start)
+		if !ok {
+			panic("bench: incremental freeze fell back to a full rebuild")
+		}
+		if i == 0 || d < incremental {
+			incremental = d
+		}
+	}
+	return full, incremental
 }

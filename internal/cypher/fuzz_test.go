@@ -1,0 +1,45 @@
+package cypher
+
+import (
+	"regexp"
+	"testing"
+)
+
+// errPos matches the position clause every lexer ("at 12") and parser
+// ("at offset 12") diagnostic carries.
+var errPos = regexp.MustCompile(` at (offset )?\d+`)
+
+// FuzzCypherParse feeds arbitrary query text to the parser. The contract:
+// Parse never panics, and every rejection is a positioned diagnostic (the
+// service surfaces parse errors verbatim to HTTP clients, who need the
+// offset to point at the bad token). Seed corpus:
+// testdata/fuzz/FuzzCypherParse plus the programmatic seeds below.
+func FuzzCypherParse(f *testing.F) {
+	for _, src := range []string{
+		"MATCH (a:E) RETURN a",
+		"MATCH (a:E)-[:U]->(b:A) WHERE a.name = 'x' RETURN a, b LIMIT 3",
+		"MATCH (a)-[*1..3]->(b) RETURN count(a)",
+		"MATCH (a:E)-[:G]->(x:A)<-[:G]-(b:E) WITH a RETURN a.name",
+		"match (a) return a order by a.name",
+		"MATCH (a:E RETURN a",
+		"MATCH (a)-[>(b) RETURN a",
+		"RETURN",
+		"MATCH (a) WHERE a.v = 'unterminated RETURN a",
+		"",
+		"\x00\xff",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			if !errPos.MatchString(err.Error()) {
+				t.Fatalf("unpositioned parse error: %v", err)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query with nil error")
+		}
+	})
+}

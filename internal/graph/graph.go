@@ -123,15 +123,24 @@ type Graph struct {
 	eSrc   []VertexID
 	eDst   []VertexID
 
-	out [][]EdgeID // outgoing edges per vertex
-	in  [][]EdgeID // incoming edges per vertex
+	out [][]EdgeID // outgoing edges per vertex (live graphs)
+	in  [][]EdgeID // incoming edges per vertex (live graphs)
+
+	// outRows/inRows replace out/in on frozen snapshots: immutable
+	// per-vertex edge-id rows that an incremental snapshot can share with
+	// the previous epoch plus a sparse overlay of delta-touched rows, so
+	// extending a snapshot does not copy O(V) row headers (see edgeRows).
+	outRows, inRows *edgeRows
 
 	byLabel map[Label][]VertexID // label index over vertices
 
 	// frozen marks an immutable epoch snapshot (see Freeze); csr is its
-	// compressed-sparse-row adjacency index, nil on live graphs.
-	frozen bool
-	csr    *csrIndex
+	// compressed-sparse-row adjacency index, nil on live graphs. incrSnap
+	// marks a snapshot whose index extends an earlier epoch's
+	// (ExtendFrozen) instead of being fully rebuilt.
+	frozen   bool
+	incrSnap bool
+	csr      *csrIndex
 	// snapV/snapE are the high-watermarks of the largest snapshot taken
 	// from this live graph. Everything below them is shared with lock-free
 	// snapshot readers and must stay immutable: appends are naturally safe
@@ -200,17 +209,27 @@ func (g *Graph) Dst(e EdgeID) VertexID { return g.eDst[e] }
 
 // Out returns the outgoing edge ids of v. The returned slice must not be
 // modified.
-func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+func (g *Graph) Out(v VertexID) []EdgeID {
+	if g.frozen {
+		return g.outRows.row(v)
+	}
+	return g.out[v]
+}
 
 // In returns the incoming edge ids of v. The returned slice must not be
 // modified.
-func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+func (g *Graph) In(v VertexID) []EdgeID {
+	if g.frozen {
+		return g.inRows.row(v)
+	}
+	return g.in[v]
+}
 
 // OutDegree returns the number of outgoing edges of v.
-func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+func (g *Graph) OutDegree(v VertexID) int { return len(g.Out(v)) }
 
 // InDegree returns the number of incoming edges of v.
-func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
+func (g *Graph) InDegree(v VertexID) int { return len(g.In(v)) }
 
 // mustBeLive guards mutations: snapshots are immutable by contract, and a
 // write slipping through would race with the snapshot's lock-free readers.
@@ -281,8 +300,7 @@ func (g *Graph) VerticesWithLabel(label Label) []VertexID { return g.byLabel[lab
 // graph this is one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
 	if g.csr != nil {
-		nbrs, _ := g.csr.rel(label, true).row(v)
-		return append(buf, nbrs...)
+		return g.csr.rel(label, true).appendNbrs(v, buf)
 	}
 	for _, e := range g.out[v] {
 		if g.eLabel[e] == label {
@@ -297,8 +315,7 @@ func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID
 // one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) InNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
 	if g.csr != nil {
-		nbrs, _ := g.csr.rel(label, false).row(v)
-		return append(buf, nbrs...)
+		return g.csr.rel(label, false).appendNbrs(v, buf)
 	}
 	for _, e := range g.in[v] {
 		if g.eLabel[e] == label {
@@ -332,11 +349,11 @@ func (g *Graph) Stats() Stats {
 	for _, l := range g.eLabel {
 		st.EdgeByLabel[g.dict.Name(l)]++
 	}
-	for v := range g.out {
-		if d := len(g.out[v]); d > st.MaxOutDegree {
+	for v := 0; v < st.Vertices; v++ {
+		if d := g.OutDegree(VertexID(v)); d > st.MaxOutDegree {
 			st.MaxOutDegree = d
 		}
-		if d := len(g.in[v]); d > st.MaxInDegree {
+		if d := g.InDegree(VertexID(v)); d > st.MaxInDegree {
 			st.MaxInDegree = d
 		}
 	}
@@ -375,7 +392,7 @@ func (g *Graph) IsAcyclic(edgeFilter func(Label) bool) bool {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		seen++
-		for _, e := range g.out[v] {
+		for _, e := range g.Out(v) {
 			if edgeFilter != nil && !edgeFilter(g.eLabel[e]) {
 				continue
 			}

@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // Epoch snapshots. The graph is append-only (provenance is immutable
 // history), so a consistent read view is fully described by a watermark
 // (numVertices, numEdges): everything below the watermark never changes.
@@ -16,23 +18,79 @@ package graph
 // API works on it), but neighbor scans that previously filtered a mixed
 // edge list per call become contiguous slice reads. Mutations panic.
 //
+// Because the graph is append-only, the next epoch's index is the previous
+// one plus the delta: ExtendFrozen reuses the previous snapshot's rel
+// blocks copy-on-write and stores the delta's edges as sparse extension
+// rows, so the commit path pays O(delta + touched rows) instead of
+// O(V + E) per freeze (see ExtendFrozen for the layout).
+//
 // Concurrency: a frozen graph shares no mutable state with its source.
 // Writers may keep appending to the live graph while any number of readers
 // traverse the snapshot; appends only ever touch indices at or beyond the
 // watermark, which no snapshot reader dereferences.
 
-// csrRel is the per-label CSR block of one direction: row v is
-// nbr[off[v]:off[v+1]] (the neighbor endpoints, in edge-insertion order)
-// with eid holding the matching edge ids.
+// csrExt holds the rows appended to a rel block since its contiguous base
+// was last fully built: a sparse CSR over only the vertices the delta
+// touched. vids is sorted ascending; row i of the touched vertex vids[i] is
+// nbr[off[i]:off[i+1]] with eid holding the matching edge ids, in ascending
+// edge-id order. Lookups binary-search vids, so untouched-label reads pay
+// nothing and touched-label reads pay O(log touched).
+type csrExt struct {
+	vids []VertexID
+	off  []uint32
+	nbr  []VertexID
+	eid  []EdgeID
+}
+
+// row returns the extension row of v (nil when the delta never touched v).
+func (x *csrExt) row(v VertexID) ([]VertexID, []EdgeID) {
+	if x == nil {
+		return nil, nil
+	}
+	i := sort.Search(len(x.vids), func(i int) bool { return x.vids[i] >= v })
+	if i == len(x.vids) || x.vids[i] != v {
+		return nil, nil
+	}
+	a, b := x.off[i], x.off[i+1]
+	return x.nbr[a:b:b], x.eid[a:b:b]
+}
+
+// edges returns the number of edges held in the extension.
+func (x *csrExt) edges() int {
+	if x == nil {
+		return 0
+	}
+	return len(x.nbr)
+}
+
+// csrRel is the per-label CSR block of one direction. A block is either
+//
+//   - contiguous (base == nil, ext == nil): row v is nbr[off[v]:off[v+1]]
+//     with eid holding the matching edge ids, as built by a full rebuild or
+//     a flatten, or
+//   - extended (ext != nil): the rows of an older epoch's contiguous block
+//     (base; nil when the label first appeared after that epoch) plus the
+//     sparse extension rows accumulated by ExtendFrozen since. A row then
+//     spans up to two epochs: the base segment followed by the extension
+//     segment, both in ascending edge-id order (every delta edge id is
+//     larger than every base edge id, so the concatenation is exactly the
+//     row a full rebuild would produce).
+//
+// base is always contiguous: extending an already-extended block merges the
+// old extension with the new delta instead of chaining, so reads never walk
+// more than two segments no matter how many epochs a block has survived.
 type csrRel struct {
 	off []uint32
 	nbr []VertexID
 	eid []EdgeID
+
+	base *csrRel
+	ext  *csrExt
 }
 
-// row returns the neighbor and edge-id rows of v (capped: appending to a
-// returned slice never clobbers the next row).
-func (r *csrRel) row(v VertexID) ([]VertexID, []EdgeID) {
+// contiguousRow returns v's slice of the block's own contiguous arrays
+// (capped: appending to a returned slice never clobbers the next row).
+func (r *csrRel) contiguousRow(v VertexID) ([]VertexID, []EdgeID) {
 	if r == nil || int(v)+1 >= len(r.off) {
 		return nil, nil
 	}
@@ -40,11 +98,168 @@ func (r *csrRel) row(v VertexID) ([]VertexID, []EdgeID) {
 	return r.nbr[a:b:b], r.eid[a:b:b]
 }
 
-// csrIndex is the frozen adjacency index: flat all-edge arrays backing the
-// per-vertex Out/In views, plus per-label neighbor rows for the hot
-// label-filtered scans. The per-label tables are dense slices indexed by
-// Label (labels are small interned ints) so a row lookup is two array
-// indexings — no hashing on the query path.
+// row returns the neighbor and edge-id rows of v. On an extended block the
+// row may span two epochs; when both segments are non-empty they are
+// materialized into fresh slices (callers treat rows as read-only either
+// way).
+func (r *csrRel) row(v VertexID) ([]VertexID, []EdgeID) {
+	if r == nil {
+		return nil, nil
+	}
+	if r.ext == nil {
+		return r.contiguousRow(v)
+	}
+	bn, be := r.base.contiguousRow(v)
+	xn, xe := r.ext.row(v)
+	switch {
+	case len(xn) == 0:
+		return bn, be
+	case len(bn) == 0:
+		return xn, xe
+	}
+	nbr := make([]VertexID, 0, len(bn)+len(xn))
+	eid := make([]EdgeID, 0, len(be)+len(xe))
+	nbr = append(append(nbr, bn...), xn...)
+	eid = append(append(eid, be...), xe...)
+	return nbr, eid
+}
+
+// appendNbrs appends v's neighbor row to buf without materializing
+// multi-epoch rows.
+func (r *csrRel) appendNbrs(v VertexID, buf []VertexID) []VertexID {
+	if r == nil {
+		return buf
+	}
+	if r.ext == nil {
+		n, _ := r.contiguousRow(v)
+		return append(buf, n...)
+	}
+	bn, _ := r.base.contiguousRow(v)
+	xn, _ := r.ext.row(v)
+	return append(append(buf, bn...), xn...)
+}
+
+// edges returns the total edge count of the block (base + extension).
+func (r *csrRel) edges() int {
+	if r == nil {
+		return 0
+	}
+	if r.ext == nil {
+		if len(r.off) == 0 {
+			return 0
+		}
+		return int(r.off[len(r.off)-1])
+	}
+	return r.base.edges() + r.ext.edges()
+}
+
+// edgeRows is a frozen graph's per-vertex edge-id view (the Out/In API):
+// an immutable array of row headers, shared pointer-wise with the previous
+// epoch on incremental snapshots, plus a sparse sorted overlay holding the
+// materialized rows of the vertices the ingest delta touched. Sharing the
+// base outright is what keeps ExtendFrozen from copying (and the GC from
+// re-scanning) O(V) slice headers per commit; reads pay one binary-search
+// miss over the overlay, which is delta-sized and flattened back into a
+// plain array when it outgrows a fraction of the vertex count.
+type edgeRows struct {
+	base [][]EdgeID
+	vids []VertexID // sorted; vertices whose current row lives in the overlay
+	rows [][]EdgeID // parallel to vids
+}
+
+// row returns v's edge-id row (nil when v has none). The result must not
+// be modified.
+func (r *edgeRows) row(v VertexID) []EdgeID {
+	if n := len(r.vids); n > 0 {
+		i := sort.Search(n, func(i int) bool { return r.vids[i] >= v })
+		if i < n && r.vids[i] == v {
+			return r.rows[i]
+		}
+	}
+	if int(v) < len(r.base) {
+		return r.base[v]
+	}
+	return nil
+}
+
+// extend derives the next epoch's view: tv (sorted) are the delta-touched
+// vertices and add their new edge ids; each touched row is materialized
+// once as old row + delta, untouched overlay rows carry over pointer-wise,
+// and the base array is shared. The overlay is flattened into a fresh base
+// when it outgrows a quarter of the vertex count.
+func (r *edgeRows) extend(tv []VertexID, add [][]EdgeID, nv int) *edgeRows {
+	nx := &edgeRows{
+		base: r.base,
+		vids: make([]VertexID, 0, len(r.vids)+len(tv)),
+		rows: make([][]EdgeID, 0, len(r.vids)+len(tv)),
+	}
+	i, j := 0, 0
+	for i < len(r.vids) || j < len(tv) {
+		switch {
+		case j == len(tv) || i < len(r.vids) && r.vids[i] < tv[j]:
+			nx.vids = append(nx.vids, r.vids[i])
+			nx.rows = append(nx.rows, r.rows[i])
+			i++
+		default:
+			v := tv[j]
+			old := r.row(v)
+			row := make([]EdgeID, 0, len(old)+len(add[j]))
+			nx.vids = append(nx.vids, v)
+			nx.rows = append(nx.rows, append(append(row, old...), add[j]...))
+			if i < len(r.vids) && r.vids[i] == v {
+				i++
+			}
+			j++
+		}
+	}
+	if len(nx.vids) > rowOverlayFlattenMin && len(nx.vids)*4 > nv {
+		base := make([][]EdgeID, nv)
+		copy(base, nx.base)
+		for k, v := range nx.vids {
+			base[v] = nx.rows[k]
+		}
+		return &edgeRows{base: base}
+	}
+	return nx
+}
+
+// rowsBuilder groups a delta's (vertex, edge id) pairs into sorted rows.
+type rowsBuilder struct {
+	vids []VertexID
+	eids []EdgeID
+}
+
+func (b *rowsBuilder) add(v VertexID, e EdgeID) {
+	b.vids = append(b.vids, v)
+	b.eids = append(b.eids, e)
+}
+
+// build returns the touched vertices in ascending order with each one's
+// new edge ids (ascending: the sort is stable over insertion order).
+func (b *rowsBuilder) build() ([]VertexID, [][]EdgeID) {
+	idx := make([]int, len(b.vids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.vids[idx[i]] < b.vids[idx[j]] })
+	var tv []VertexID
+	var rows [][]EdgeID
+	for _, i := range idx {
+		v := b.vids[i]
+		if n := len(tv); n == 0 || tv[n-1] != v {
+			tv = append(tv, v)
+			rows = append(rows, nil)
+		}
+		rows[len(rows)-1] = append(rows[len(rows)-1], b.eids[i])
+	}
+	return tv, rows
+}
+
+// csrIndex is the frozen adjacency index: per-label neighbor rows for the
+// hot label-filtered scans, plus (on fully rebuilt snapshots) flat all-edge
+// arrays backing the per-vertex Out/In views. The per-label tables are
+// dense slices indexed by Label (labels are small interned ints) so a row
+// lookup is two array indexings — no hashing on the query path.
 type csrIndex struct {
 	outEdge, inEdge []EdgeID
 	outRel, inRel   []*csrRel // indexed by Label; nil = no edges of that label
@@ -66,13 +281,14 @@ func (cs *csrIndex) rel(label Label, out bool) *csrRel {
 // Frozen reports whether the graph is an immutable snapshot.
 func (g *Graph) Frozen() bool { return g.frozen }
 
-// Freeze returns an immutable snapshot of the graph with a CSR adjacency
-// index. Freezing a frozen graph returns it unchanged.
-func (g *Graph) Freeze() *Graph {
-	if g.frozen {
-		return g
-	}
-	nv, ne := len(g.vLabel), len(g.eLabel)
+// IncrementalSnapshot reports whether this frozen graph's index was built
+// by extending an earlier epoch (ExtendFrozen) rather than a full rebuild.
+func (g *Graph) IncrementalSnapshot() bool { return g.incrSnap }
+
+// snapshotShell allocates the frozen graph sharing the live graph's
+// columnar prefix via capped slice headers and records the watermark on the
+// live graph so property writes below it are rejected (SetVertexProp).
+func (g *Graph) snapshotShell(nv, ne int) *Graph {
 	fz := &Graph{
 		dict:    g.dict.clone(),
 		vLabel:  g.vLabel[:nv:nv],
@@ -89,20 +305,271 @@ func (g *Graph) Freeze() *Graph {
 	for l, vs := range g.byLabel {
 		fz.byLabel[l] = vs[:len(vs):len(vs)]
 	}
-	fz.buildCSR(nv, ne)
-	// The snapshot shares this graph's columnar prefix; record the
-	// watermark so property writes below it are rejected (SetVertexProp).
 	if nv > g.snapV {
 		g.snapV, g.snapE = nv, ne
 	}
 	return fz
 }
 
-// buildCSR constructs the CSR index and the per-vertex Out/In views over it
-// with two counting-sort passes per direction. Within a row, edges appear in
-// ascending id order, matching the live graph's insertion-ordered lists.
-func (g *Graph) buildCSR(nv, ne int) {
+// Freeze returns an immutable snapshot of the graph with a CSR adjacency
+// index, fully rebuilt from the live adjacency. Freezing a frozen graph
+// returns it unchanged.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	nv, ne := len(g.vLabel), len(g.eLabel)
+	fz := g.snapshotShell(nv, ne)
+	fz.buildCSR(g, nv, ne)
+	return fz
+}
+
+// Incremental extension tuning. A touched rel block's extension is merged
+// across epochs rather than chained (reads stay two-segment), and is
+// flattened back into a contiguous block once it outgrows its base: past
+// that point the merge copies more than a rebuild would, and row reads of
+// touched vertices keep paying the binary search + concatenation. The
+// extEdges > base/4 ratio bounds both at a fraction of a full rebuild while
+// keeping flattens rare; the minimum stops tiny, hot blocks from
+// re-flattening on every commit.
+const (
+	extFlattenMin        = 64
+	rowOverlayFlattenMin = 256
+)
+
+// ExtendFrozen returns an immutable snapshot like Freeze, but builds the
+// adjacency index incrementally from prev — an earlier snapshot of this
+// same graph (normally the previous epoch). Rel blocks no delta edge
+// touches are shared with prev outright; touched blocks keep prev's
+// contiguous rows copy-on-write and gain sparse extension rows over just
+// the delta, flattened back to contiguous form only when the accumulated
+// extension outgrows its base. The all-edge Out/In views copy prev's row
+// headers and rebuild only the rows the delta extends. The commit path
+// therefore pays O(V row headers + delta + touched rows), not the full
+// O(V + E) counting sort.
+//
+// The bool result reports whether the incremental path was taken. It falls
+// back to a full Freeze (returning false) when prev is nil or not a
+// snapshot of this graph's history, or when the delta is so large that a
+// rebuild is cheaper. Callers must not extend concurrently with other
+// freezes of the same graph (the serving layer serializes commits behind
+// its write mutex).
+func (g *Graph) ExtendFrozen(prev *Graph) (*Graph, bool) {
+	if g.frozen {
+		return g, false
+	}
+	nv, ne := len(g.vLabel), len(g.eLabel)
+	if !g.canExtend(prev, nv, ne) {
+		return g.Freeze(), false
+	}
+	pe := prev.NumEdges()
+	fz := g.snapshotShell(nv, ne)
+	fz.incrSnap = true
+
+	// All-edge Out/In views: share prev's rows, overlaying only the rows
+	// the delta extends (each materialized once as old row + new ids).
+	var ob, ib rowsBuilder
+	for e := pe; e < ne; e++ {
+		ob.add(g.eSrc[e], EdgeID(e))
+		ib.add(g.eDst[e], EdgeID(e))
+	}
+	tv, add := ob.build()
+	fz.outRows = prev.outRows.extend(tv, add, nv)
+	tv, add = ib.build()
+	fz.inRows = prev.inRows.extend(tv, add, nv)
+
+	// Per-label blocks: group the delta per (label, direction), share the
+	// blocks with no delta, extend the rest.
 	nl := g.dict.Len()
+	cs := &csrIndex{outRel: make([]*csrRel, nl), inRel: make([]*csrRel, nl)}
+	pcs := prev.csr
+	copy(cs.outRel, pcs.outRel)
+	copy(cs.inRel, pcs.inRel)
+	outDelta := make(map[Label]*extBuilder)
+	inDelta := make(map[Label]*extBuilder)
+	for e := pe; e < ne; e++ {
+		l := g.eLabel[e]
+		ob := outDelta[l]
+		if ob == nil {
+			ob = &extBuilder{}
+			outDelta[l] = ob
+			inDelta[l] = &extBuilder{}
+		}
+		ob.add(g.eSrc[e], g.eDst[e], EdgeID(e))
+		inDelta[l].add(g.eDst[e], g.eSrc[e], EdgeID(e))
+	}
+	for l, b := range outDelta {
+		cs.outRel[l] = extendRel(pcs.rel(l, true), b.build(), nv)
+		cs.inRel[l] = extendRel(pcs.rel(l, false), inDelta[l].build(), nv)
+	}
+	fz.csr = cs
+	return fz, true
+}
+
+// canExtend validates that prev is a usable base for an incremental
+// extension of this graph's current state: a frozen snapshot whose
+// watermark is a prefix of ours, whose label dictionary is a prefix of
+// ours, and whose boundary rows match ours (a cheap spot check — the full
+// prefix property is the caller's contract, prev having been frozen from
+// this same graph). A delta larger than half the graph falls back to the
+// full rebuild: at that size the counting sort is no slower and resets the
+// extension state.
+func (g *Graph) canExtend(prev *Graph, nv, ne int) bool {
+	if prev == nil || !prev.frozen || prev.csr == nil {
+		return false
+	}
+	pv, pe := prev.NumVertices(), prev.NumEdges()
+	if pv > nv || pe > ne || pe == 0 {
+		return false
+	}
+	if (ne-pe)*2 > ne {
+		return false
+	}
+	if prev.dict.Len() > g.dict.Len() {
+		return false
+	}
+	for l := 0; l < prev.dict.Len(); l++ {
+		if prev.dict.Name(Label(l)) != g.dict.Name(Label(l)) {
+			return false
+		}
+	}
+	for _, i := range []int{0, pv - 1} {
+		if prev.vLabel[i] != g.vLabel[i] {
+			return false
+		}
+	}
+	for _, i := range []int{0, pe - 1} {
+		if prev.eSrc[i] != g.eSrc[i] || prev.eDst[i] != g.eDst[i] || prev.eLabel[i] != g.eLabel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extBuilder accumulates one (label, direction)'s delta rows in edge order,
+// then sorts them by vertex into a csrExt.
+type extBuilder struct {
+	vids []VertexID
+	nbr  []VertexID
+	eid  []EdgeID
+}
+
+func (b *extBuilder) add(v, nbr VertexID, e EdgeID) {
+	b.vids = append(b.vids, v)
+	b.nbr = append(b.nbr, nbr)
+	b.eid = append(b.eid, e)
+}
+
+// build groups the accumulated entries into sparse sorted rows. The sort is
+// stable so each row keeps ascending edge-id order.
+func (b *extBuilder) build() *csrExt {
+	idx := make([]int, len(b.vids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.vids[idx[i]] < b.vids[idx[j]] })
+	x := &csrExt{
+		nbr: make([]VertexID, 0, len(idx)),
+		eid: make([]EdgeID, 0, len(idx)),
+	}
+	for _, i := range idx {
+		v := b.vids[i]
+		if n := len(x.vids); n == 0 || x.vids[n-1] != v {
+			x.vids = append(x.vids, v)
+			x.off = append(x.off, uint32(len(x.nbr)))
+		}
+		x.nbr = append(x.nbr, b.nbr[i])
+		x.eid = append(x.eid, b.eid[i])
+	}
+	x.off = append(x.off, uint32(len(x.nbr)))
+	return x
+}
+
+// extendRel layers a delta extension onto the previous epoch's block. An
+// already-extended block has its old extension merged with the delta (so
+// rows never span more than two segments); the result is flattened back to
+// a contiguous block when the accumulated extension outgrows its base.
+func extendRel(prev *csrRel, delta *csrExt, nv int) *csrRel {
+	var base *csrRel
+	ext := delta
+	if prev != nil {
+		base = prev
+		if prev.ext != nil {
+			base = prev.base
+			ext = mergeExt(prev.ext, delta)
+		}
+	}
+	if n := ext.edges(); n > extFlattenMin && n*4 > base.edges() {
+		return flattenRel(base, ext, nv)
+	}
+	return &csrRel{base: base, ext: ext}
+}
+
+// mergeExt merges two sparse extensions; every edge id in b is newer than
+// every id in a, so concatenating a's row before b's preserves ascending
+// edge-id order.
+func mergeExt(a, b *csrExt) *csrExt {
+	x := &csrExt{
+		vids: make([]VertexID, 0, len(a.vids)+len(b.vids)),
+		off:  make([]uint32, 0, len(a.vids)+len(b.vids)+1),
+		nbr:  make([]VertexID, 0, len(a.nbr)+len(b.nbr)),
+		eid:  make([]EdgeID, 0, len(a.eid)+len(b.eid)),
+	}
+	i, j := 0, 0
+	appendRow := func(s *csrExt, k int) {
+		x.nbr = append(x.nbr, s.nbr[s.off[k]:s.off[k+1]]...)
+		x.eid = append(x.eid, s.eid[s.off[k]:s.off[k+1]]...)
+	}
+	for i < len(a.vids) || j < len(b.vids) {
+		var v VertexID
+		switch {
+		case j == len(b.vids) || i < len(a.vids) && a.vids[i] < b.vids[j]:
+			v = a.vids[i]
+		default:
+			v = b.vids[j]
+		}
+		x.vids = append(x.vids, v)
+		x.off = append(x.off, uint32(len(x.nbr)))
+		if i < len(a.vids) && a.vids[i] == v {
+			appendRow(a, i)
+			i++
+		}
+		if j < len(b.vids) && b.vids[j] == v {
+			appendRow(b, j)
+			j++
+		}
+	}
+	x.off = append(x.off, uint32(len(x.nbr)))
+	return x
+}
+
+// flattenRel rebuilds one (label, direction) block contiguously from a base
+// block and its accumulated extension: O(V + edges of the label), the same
+// shape a full rebuild produces.
+func flattenRel(base *csrRel, ext *csrExt, nv int) *csrRel {
+	total := base.edges() + ext.edges()
+	r := &csrRel{
+		off: make([]uint32, nv+1),
+		nbr: make([]VertexID, 0, total),
+		eid: make([]EdgeID, 0, total),
+	}
+	for v := 0; v < nv; v++ {
+		bn, be := base.contiguousRow(VertexID(v))
+		xn, xe := ext.row(VertexID(v))
+		r.nbr = append(append(r.nbr, bn...), xn...)
+		r.eid = append(append(r.eid, be...), xe...)
+		r.off[v+1] = uint32(len(r.nbr))
+	}
+	return r
+}
+
+// buildCSR constructs the full CSR index and the per-vertex Out/In views
+// over it with two counting-sort passes per direction. Within a row, edges
+// appear in ascending id order, matching the live graph's insertion-ordered
+// lists. src is the graph whose adjacency is being indexed (the live graph;
+// the receiver is the snapshot under construction).
+func (g *Graph) buildCSR(src *Graph, nv, ne int) {
+	nl := src.dict.Len()
 	cs := &csrIndex{
 		outEdge: make([]EdgeID, ne),
 		inEdge:  make([]EdgeID, ne),
@@ -114,8 +581,8 @@ func (g *Graph) buildCSR(nv, ne int) {
 	outOff := make([]uint32, nv+1)
 	inOff := make([]uint32, nv+1)
 	for e := 0; e < ne; e++ {
-		outOff[g.eSrc[e]+1]++
-		inOff[g.eDst[e]+1]++
+		outOff[src.eSrc[e]+1]++
+		inOff[src.eDst[e]+1]++
 	}
 	for v := 0; v < nv; v++ {
 		outOff[v+1] += outOff[v]
@@ -124,30 +591,32 @@ func (g *Graph) buildCSR(nv, ne int) {
 	outCur := append([]uint32(nil), outOff...)
 	inCur := append([]uint32(nil), inOff...)
 	for e := 0; e < ne; e++ {
-		s, d := g.eSrc[e], g.eDst[e]
+		s, d := src.eSrc[e], src.eDst[e]
 		cs.outEdge[outCur[s]] = EdgeID(e)
 		outCur[s]++
 		cs.inEdge[inCur[d]] = EdgeID(e)
 		inCur[d]++
 	}
-	g.out = make([][]EdgeID, nv)
-	g.in = make([][]EdgeID, nv)
+	outViews := make([][]EdgeID, nv)
+	inViews := make([][]EdgeID, nv)
 	for v := 0; v < nv; v++ {
-		g.out[v] = cs.outEdge[outOff[v]:outOff[v+1]:outOff[v+1]]
-		g.in[v] = cs.inEdge[inOff[v]:inOff[v+1]:inOff[v+1]]
+		outViews[v] = cs.outEdge[outOff[v]:outOff[v+1]:outOff[v+1]]
+		inViews[v] = cs.inEdge[inOff[v]:inOff[v+1]:inOff[v+1]]
 	}
+	g.outRows = &edgeRows{base: outViews}
+	g.inRows = &edgeRows{base: inViews}
 
 	// Per-label CSR: count rows, prefix-sum, fill.
 	for e := 0; e < ne; e++ {
-		l := g.eLabel[e]
+		l := src.eLabel[e]
 		ob := cs.outRel[l]
 		if ob == nil {
 			ob = &csrRel{off: make([]uint32, nv+1)}
 			cs.outRel[l] = ob
 			cs.inRel[l] = &csrRel{off: make([]uint32, nv+1)}
 		}
-		ob.off[g.eSrc[e]+1]++
-		cs.inRel[l].off[g.eDst[e]+1]++
+		ob.off[src.eSrc[e]+1]++
+		cs.inRel[l].off[src.eDst[e]+1]++
 	}
 	outPos := make([][]uint32, nl)
 	inPos := make([][]uint32, nl)
@@ -169,8 +638,8 @@ func (g *Graph) buildCSR(nv, ne int) {
 		}
 	}
 	for e := 0; e < ne; e++ {
-		l := g.eLabel[e]
-		s, d := g.eSrc[e], g.eDst[e]
+		l := src.eLabel[e]
+		s, d := src.eSrc[e], src.eDst[e]
 		ob, ib := cs.outRel[l], cs.inRel[l]
 		op, ip := outPos[l], inPos[l]
 		ob.nbr[op[s]] = d
@@ -183,12 +652,14 @@ func (g *Graph) buildCSR(nv, ne int) {
 	g.csr = cs
 }
 
-// FrozenNeighbors returns the contiguous CSR row for v's neighbors over
-// edges with the given label: destination endpoints of v's out-edges when
-// out is true, source endpoints of its in-edges otherwise, with eids holding
-// the matching edge ids. ok is false when the graph is not frozen (callers
-// fall back to scanning the live adjacency lists). The returned slices must
-// not be modified.
+// FrozenNeighbors returns the CSR row for v's neighbors over edges with the
+// given label: destination endpoints of v's out-edges when out is true,
+// source endpoints of its in-edges otherwise, with eids holding the
+// matching edge ids in ascending order. On an incrementally extended
+// snapshot a row may span two epochs, in which case it is materialized into
+// fresh slices; either way the returned slices must not be modified. ok is
+// false when the graph is not frozen (callers fall back to scanning the
+// live adjacency lists).
 func (g *Graph) FrozenNeighbors(v VertexID, label Label, out bool) (nbrs []VertexID, eids []EdgeID, ok bool) {
 	if g.csr == nil {
 		return nil, nil, false

@@ -175,14 +175,37 @@ func (p *Graph) Freeze() *Graph {
 	if p.g.Frozen() {
 		return p
 	}
-	fp := &Graph{
-		g:          p.g.Freeze(),
+	return p.wrapSnapshot(p.g.Freeze())
+}
+
+// wrapSnapshot wraps a frozen property graph with this graph's (immutable,
+// fixed at Wrap time) PROV label tables.
+func (p *Graph) wrapSnapshot(fg *graph.Graph) *Graph {
+	return &Graph{
+		g:          fg,
 		kindLabels: p.kindLabels,
 		relLabels:  p.relLabels,
 		labelKind:  p.labelKind,
 		labelRel:   p.labelRel,
 	}
-	return fp
+}
+
+// ExtendFrozen returns an immutable epoch snapshot like Freeze, but builds
+// the CSR index incrementally from prev, an earlier snapshot of this same
+// graph (normally the previous epoch): unchanged per-label blocks are
+// shared, only the ingest delta is indexed (graph.ExtendFrozen). The bool
+// result reports whether the incremental path was taken; when prev is
+// unusable as a base the snapshot falls back to a full rebuild.
+func (p *Graph) ExtendFrozen(prev *Graph) (*Graph, bool) {
+	if p.g.Frozen() {
+		return p, false
+	}
+	var pg *graph.Graph
+	if prev != nil {
+		pg = prev.g
+	}
+	fg, incr := p.g.ExtendFrozen(pg)
+	return p.wrapSnapshot(fg), incr
 }
 
 // Frozen reports whether this graph is an immutable snapshot.

@@ -94,14 +94,16 @@ type AdjustRequest struct {
 
 // MetricsResponse is the GET /metrics payload: service-level counters for
 // observability — the current epoch, cache effectiveness (including how
-// often ingest deltas revalidated vs. purged cached segments), and
-// per-endpoint request counts since start.
+// often ingest deltas revalidated vs. purged cached segments), how commit
+// snapshots were built (incremental CSR extension vs full rebuild) and what
+// they cost, and per-endpoint request counts since start.
 type MetricsResponse struct {
 	Epoch        uint64            `json:"epoch"`
 	Vertices     int               `json:"vertices"`
 	Edges        int               `json:"edges"`
 	UptimeMillis int64             `json:"uptime_ms"`
 	Cache        CacheStats        `json:"cache"`
+	Freeze       FreezeStats       `json:"freeze"`
 	Requests     map[string]uint64 `json:"requests"`
 }
 

@@ -444,6 +444,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Edges:        ep.Edges,
 		UptimeMillis: s.store.Uptime().Milliseconds(),
 		Cache:        s.store.CacheStats(),
+		Freeze:       s.store.FreezeStatsSnapshot(),
 		Requests:     make(map[string]uint64, len(s.requests)),
 	}
 	for name, ctr := range s.requests {

@@ -58,7 +58,55 @@ type Store struct {
 
 	cache *segCache
 
+	// Freeze instrumentation: how commits build their snapshots (the
+	// incremental CSR extension vs the full rebuild fallback) and what the
+	// freeze step costs, surfaced via /metrics.
+	freezeIncr    atomic.Uint64
+	freezeFull    atomic.Uint64
+	freezeTotalNs atomic.Int64
+	freezeLastNs  atomic.Int64
+	freezeMaxNs   atomic.Int64
+
 	started time.Time
+}
+
+// observeFreeze records one snapshot build on the commit path.
+func (s *Store) observeFreeze(incremental bool, d time.Duration) {
+	if incremental {
+		s.freezeIncr.Add(1)
+	} else {
+		s.freezeFull.Add(1)
+	}
+	ns := d.Nanoseconds()
+	s.freezeTotalNs.Add(ns)
+	s.freezeLastNs.Store(ns)
+	for {
+		max := s.freezeMaxNs.Load()
+		if ns <= max || s.freezeMaxNs.CompareAndSwap(max, ns) {
+			return
+		}
+	}
+}
+
+// FreezeStats is the /metrics freeze panel: counts of incremental vs full
+// snapshot builds on the commit path, and freeze-duration stats.
+type FreezeStats struct {
+	Incremental uint64 `json:"incremental"`
+	Full        uint64 `json:"full"`
+	LastNanos   int64  `json:"last_ns"`
+	MaxNanos    int64  `json:"max_ns"`
+	TotalNanos  int64  `json:"total_ns"`
+}
+
+// FreezeStatsSnapshot returns the current freeze counters.
+func (s *Store) FreezeStatsSnapshot() FreezeStats {
+	return FreezeStats{
+		Incremental: s.freezeIncr.Load(),
+		Full:        s.freezeFull.Load(),
+		LastNanos:   s.freezeLastNs.Load(),
+		MaxNanos:    s.freezeMaxNs.Load(),
+		TotalNanos:  s.freezeTotalNs.Load(),
+	}
 }
 
 // NewStore wraps an existing PROV graph. cacheCap bounds the segment cache
@@ -69,7 +117,9 @@ func NewStore(p *prov.Graph, cacheCap int) *Store {
 		cache:   newSegCache(cacheCap),
 		started: time.Now(),
 	}
+	start := time.Now()
 	fz := p.Freeze()
+	s.observeFreeze(false, time.Since(start))
 	s.snap.Store(&Epoch{N: 0, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()})
 	return s
 }
@@ -87,7 +137,11 @@ func (s *Store) View(fn func(p *prov.Graph)) {
 // Update runs fn under the exclusive write lock; if fn succeeds, a new
 // frozen snapshot is built and published, and the segment cache is
 // revalidated against the ingest delta (entries whose support the delta
-// touches are purged; the rest carry over to the new epoch).
+// touches are purged; the rest carry over to the new epoch). The snapshot
+// is built by extending the previous epoch's CSR index with just the
+// delta (prov.ExtendFrozen), so commit cost tracks the batch size, not
+// the total graph size; a full rebuild happens only when the previous
+// epoch is unusable as a base (see graph.ExtendFrozen).
 func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -95,7 +149,9 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 		return err
 	}
 	old := s.snap.Load()
-	fz := s.rec.P.Freeze()
+	start := time.Now()
+	fz, incremental := s.rec.P.ExtendFrozen(old.P)
+	s.observeFreeze(incremental, time.Since(start))
 	ep := &Epoch{N: old.N + 1, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
 	s.cache.advance(ep, old)
 	s.snap.Store(ep)

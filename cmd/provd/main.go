@@ -6,6 +6,14 @@
 //
 //	provd -in project.pg -addr :8042
 //	provd -gen 10000 -seed 1 -addr :8042
+//	provd -data /var/lib/provd -addr :8042
+//
+// With -data the daemon is durable: every committed ingest batch is
+// appended to a write-ahead log in the data directory (fsynced per -fsync)
+// before it is published, a background checkpointer persists the full graph
+// every -checkpoint-every batches, and a restart recovers the exact
+// pre-crash epoch from checkpoint + log tail. -in/-gen seed a fresh data
+// directory only; restarting over existing state refuses them.
 //
 // Endpoints (see internal/server):
 //
@@ -41,6 +49,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/prov"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -49,14 +58,18 @@ func main() {
 	genN := flag.Int("gen", 0, "generate a synthetic Pd lifecycle graph with this many vertices")
 	seed := flag.Int64("seed", 1, "generator seed (with -gen)")
 	cacheCap := flag.Int("cache", 256, "segment result cache capacity (entries)")
+	dataDir := flag.String("data", "", "data directory for durable serving (write-ahead log + checkpoints); empty serves memory-only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always (every commit), interval (background flush), never (OS-paced)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background flush period with -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints (bounds log growth and restart replay)")
 	flag.Parse()
 
-	p, err := openGraph(*in, *genN, *seed)
+	store, err := openStore(*dataDir, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery)
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
+	defer store.Close()
 
-	store := server.NewStore(p, *cacheCap)
 	st := store.Stats()
 	log.Printf("provd: serving %d vertices, %d edges on %s (epoch %d, cache capacity %d)",
 		st.Vertices, st.Edges, *addr, st.Epoch, *cacheCap)
@@ -81,6 +94,7 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			store.Close()
 			log.Fatalf("provd: %v", err)
 		}
 	case <-ctx.Done():
@@ -90,7 +104,54 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("provd: shutdown: %v", err)
 		}
+		// The deferred store.Close seals the WAL and writes a final
+		// checkpoint once no more requests can commit.
 	}
+}
+
+// openStore builds the memory-only or durable store per the flags.
+func openStore(dataDir, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int) (*server.Store, error) {
+	if dataDir == "" {
+		p, err := openGraph(in, genN, seed)
+		if err != nil {
+			return nil, err
+		}
+		return server.NewStore(p, cacheCap), nil
+	}
+	policy, err := wal.ParseSyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	// -in/-gen describe a starting graph; recovered state IS the graph, so
+	// combining them would silently discard one of the two. Make the
+	// operator choose (a fresh directory, or dropping the seed flags).
+	if in != "" || genN > 0 {
+		has, err := wal.DirHasState(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			return nil, fmt.Errorf("-data %s already holds state; restart without -in/-gen (or point -data at a fresh directory)", dataDir)
+		}
+	}
+	store, rcv, err := server.OpenDurable(server.DurableOptions{
+		Dir:             dataDir,
+		Fsync:           policy,
+		SyncInterval:    fsyncInterval,
+		CheckpointEvery: checkpointEvery,
+		CacheCap:        cacheCap,
+	}, func() (*prov.Graph, error) { return openGraph(in, genN, seed) })
+	if err != nil {
+		return nil, err
+	}
+	if rcv.Fresh {
+		log.Printf("provd: initialized data directory %s (fsync=%s, checkpoint every %d batches)",
+			dataDir, policy, checkpointEvery)
+	} else {
+		log.Printf("provd: recovered epoch %d from %s (checkpoint %d + %d WAL records, torn tail: %v)",
+			rcv.Epoch, dataDir, rcv.CheckpointEpoch, rcv.Replayed, rcv.TornTail)
+	}
+	return store, nil
 }
 
 // openGraph loads the input .pg file, or generates a Pd graph, or (with

@@ -112,7 +112,7 @@ func CheckProvScript(seed int64, size, epochs, queries int) (Result, error) {
 			if !ok {
 				break
 			}
-			if err := diffSegments(fullP, incrP, q); err != nil {
+			if err := DiffSegments(fullP, incrP, q); err != nil {
 				return res, fmt.Errorf("seed %d epoch %d query %d: %w", seed, ep, qi, err)
 			}
 		}
@@ -213,10 +213,10 @@ func DiffSnapshots(full, incr *graph.Graph) error {
 	return nil
 }
 
-// diffSegments evaluates the same PgSeg query against both snapshots and
+// DiffSegments evaluates the same PgSeg query against both snapshots and
 // asserts identical results: vertex set, edge set, rule attribution and
 // revalidation support set.
-func diffSegments(fullP, incrP *prov.Graph, q core.Query) error {
+func DiffSegments(fullP, incrP *prov.Graph, q core.Query) error {
 	fs, ferr := core.NewEngine(fullP, core.Options{}).Segment(q)
 	is, ierr := core.NewEngine(incrP, core.Options{}).Segment(q)
 	if (ferr == nil) != (ierr == nil) {

@@ -39,19 +39,33 @@ func WrapRecorder(p *Graph) *Recorder {
 		versions: make(map[string][]graph.VertexID),
 		agents:   make(map[string]graph.VertexID),
 	}
-	for _, e := range p.Entities() {
-		if name, ok := p.PG().VertexProp(e, PropFilename).Str(); ok && name != "" {
-			rc.versions[name] = append(rc.versions[name], e)
-		}
-	}
-	for _, u := range p.Agents() {
-		if name := p.Name(u); name != "" {
-			if _, dup := rc.agents[name]; !dup {
-				rc.agents[name] = u
+	rc.IndexFrom(0)
+	return rc
+}
+
+// IndexFrom is the replay hook for durable recovery: after a write-ahead-log
+// delta has been applied to the underlying graph (bypassing the recorder's
+// typed entry points), it folds the vertices appended at or past first into
+// the artifact version index and the agent table, exactly as recording them
+// live would have. Vertex ids are assigned in ingestion order, so indexing
+// each replayed batch in id order reconstructs the pre-crash recorder state.
+func (rc *Recorder) IndexFrom(first graph.VertexID) {
+	p := rc.P
+	for v := int(first); v < p.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		switch p.KindOf(id) {
+		case KindEntity:
+			if name, ok := p.PG().VertexProp(id, PropFilename).Str(); ok && name != "" {
+				rc.versions[name] = append(rc.versions[name], id)
+			}
+		case KindAgent:
+			if name := p.Name(id); name != "" {
+				if _, dup := rc.agents[name]; !dup {
+					rc.agents[name] = id
+				}
 			}
 		}
 	}
-	return rc
 }
 
 // Agent returns (creating on first use) the agent vertex for a team member.
@@ -62,6 +76,14 @@ func (rc *Recorder) Agent(name string) graph.VertexID {
 	v := rc.P.NewAgent(name)
 	rc.agents[name] = v
 	return v
+}
+
+// AgentNamed returns the agent vertex for a team member, without creating
+// one (and whether it exists). The read-only counterpart of Agent, used by
+// recovery checks and introspection.
+func (rc *Recorder) AgentNamed(name string) (graph.VertexID, bool) {
+	v, ok := rc.agents[name]
+	return v, ok
 }
 
 // Snapshot records a new version of the named artifact and returns its

@@ -96,7 +96,9 @@ type AdjustRequest struct {
 // observability — the current epoch, cache effectiveness (including how
 // often ingest deltas revalidated vs. purged cached segments), how commit
 // snapshots were built (incremental CSR extension vs full rebuild) and what
-// they cost, and per-endpoint request counts since start.
+// they cost, durability counters (write-ahead log volume, fsync latency,
+// checkpoints; omitted on memory-only stores), and per-endpoint request
+// counts since start.
 type MetricsResponse struct {
 	Epoch        uint64            `json:"epoch"`
 	Vertices     int               `json:"vertices"`
@@ -104,6 +106,7 @@ type MetricsResponse struct {
 	UptimeMillis int64             `json:"uptime_ms"`
 	Cache        CacheStats        `json:"cache"`
 	Freeze       FreezeStats       `json:"freeze"`
+	WAL          *DurabilityStats  `json:"wal,omitempty"`
 	Requests     map[string]uint64 `json:"requests"`
 }
 

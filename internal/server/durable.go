@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/prov"
+	"repro/internal/wal"
+)
+
+// Durable stores. OpenDurable wraps the Store around a wal.Manager so that
+// every committed ingest batch survives a crash:
+//
+//   - commit path: Store.Update encodes the batch as a graph delta and
+//     appends it to the write-ahead log (fsync per policy) before the epoch
+//     pointer swap publishes it;
+//   - background: a checkpointer goroutine rotates the log and writes a
+//     full checkpoint from the current (immutable) epoch snapshot every
+//     CheckpointEvery commits, bounding both log growth and restart replay;
+//   - startup: the newest checkpoint is loaded and the log tail replayed
+//     back through prov.Recorder (IndexFrom per record), reconstructing the
+//     exact pre-crash epoch — a torn final record, the expected artifact of
+//     a crash mid-append, is discarded.
+type DurableOptions struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Fsync selects the append fsync policy (default wal.SyncAlways).
+	Fsync wal.SyncPolicy
+	// SyncInterval is the background flush period under wal.SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointEvery is the number of committed batches between
+	// checkpoints (<=0 selects 256).
+	CheckpointEvery int
+	// CacheCap bounds the segment cache (entries; <=0 selects the default).
+	CacheCap int
+}
+
+// defaultCheckpointEvery bounds WAL replay at restart to a few hundred
+// batch-sized deltas, which replays in well under a second.
+const defaultCheckpointEvery = 256
+
+// OpenDurable opens (or creates) a durable store over the data directory.
+// When the directory holds prior state it is recovered and seed is not
+// consulted; on a fresh directory seed provides the initial graph (nil
+// seeds an empty PROV graph) and becomes checkpoint zero. The returned
+// Recovery reports what startup found. Callers must Close the store to
+// seal the log.
+func OpenDurable(opts DurableOptions, seed func() (*prov.Graph, error)) (*Store, *wal.Recovery, error) {
+	var p *prov.Graph
+	var rec *prov.Recorder
+	m, rcv, err := wal.Open(wal.Options{
+		Dir:          opts.Dir,
+		Policy:       opts.Fsync,
+		SyncInterval: opts.SyncInterval,
+		OnBase: func(g *graph.Graph, epoch uint64) error {
+			// Stand the lifecycle recorder up over the checkpoint state;
+			// replayed deltas below extend it incrementally.
+			p = prov.Wrap(g)
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("server: checkpoint at epoch %d: %w", epoch, err)
+			}
+			rec = prov.WrapRecorder(p)
+			return nil
+		},
+		OnRecord: func(epoch uint64, firstNewVertex int) error {
+			rec.IndexFrom(graph.VertexID(firstNewVertex))
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rcv.Fresh {
+		if seed != nil {
+			p, err = seed()
+		} else {
+			p = prov.New()
+		}
+		if err == nil {
+			rec = prov.WrapRecorder(p)
+			err = m.Bootstrap(p.PG())
+		}
+		if err != nil {
+			m.Close()
+			return nil, nil, err
+		}
+	}
+
+	s := newStore(p, rec, opts.CacheCap, rcv.Epoch)
+	s.wal = m
+	s.checkpointEvery = opts.CheckpointEvery
+	if s.checkpointEvery <= 0 {
+		s.checkpointEvery = defaultCheckpointEvery
+	}
+	// Replayed WAL records count against the next checkpoint so a restart
+	// that keeps crashing short of the threshold still converges.
+	s.sinceCkpt.Store(int64(rcv.Replayed))
+	s.ckptCh = make(chan struct{}, 1)
+	s.stopCh = make(chan struct{})
+	s.ckptDone = make(chan struct{})
+	go s.checkpointLoop()
+	return s, rcv, nil
+}
+
+// Durable reports whether the store persists commits to a write-ahead log.
+func (s *Store) Durable() bool { return s.wal != nil }
+
+// checkpointLoop services checkpoint signals until Close.
+func (s *Store) checkpointLoop() {
+	defer close(s.ckptDone)
+	for {
+		select {
+		case <-s.ckptCh:
+			if err := s.checkpointNow(); err != nil {
+				s.ckptFails.Add(1)
+			}
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// checkpointNow rotates the log at the current epoch (briefly under the
+// write mutex, so the rotation point is exact) and then writes the
+// checkpoint from the immutable snapshot with no lock held: ingest stalls
+// for the rotation, never for the checkpoint serialization.
+func (s *Store) checkpointNow() error {
+	s.writeMu.Lock()
+	ep := s.snap.Load()
+	err := s.wal.Rotate(ep.N)
+	if err == nil {
+		s.sinceCkpt.Store(0)
+	}
+	s.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.wal.Checkpoint(ep.P.PG(), ep.N)
+}
+
+// Close stops the checkpointer, writes a final checkpoint when the log has
+// grown since the last one (so the next start replays nothing), and seals
+// the write-ahead log. No-op on memory-only stores; Update must not race
+// with Close.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stopCh)
+		<-s.ckptDone
+		if s.sinceCkpt.Load() > 0 {
+			if cerr := s.checkpointNow(); cerr != nil {
+				s.ckptFails.Add(1)
+			}
+		}
+		err = s.wal.Close()
+	})
+	return err
+}
+
+// DurabilityStats is the /metrics wal panel: write-ahead log volume and
+// fsync latency, checkpoint counters, and the distance to the next
+// checkpoint. Nil on memory-only stores.
+type DurabilityStats struct {
+	wal.ManagerStats
+	CheckpointEvery    int    `json:"checkpoint_every"`
+	SinceCheckpoint    int64  `json:"since_checkpoint"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+}
+
+// DurabilityStatsSnapshot returns the current durability counters, or nil
+// for a memory-only store.
+func (s *Store) DurabilityStatsSnapshot() *DurabilityStats {
+	if s.wal == nil {
+		return nil
+	}
+	return &DurabilityStats{
+		ManagerStats:       s.wal.StatsSnapshot(),
+		CheckpointEvery:    s.checkpointEvery,
+		SinceCheckpoint:    s.sinceCkpt.Load(),
+		CheckpointFailures: s.ckptFails.Load(),
+	}
+}

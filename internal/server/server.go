@@ -445,6 +445,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeMillis: s.store.Uptime().Milliseconds(),
 		Cache:        s.store.CacheStats(),
 		Freeze:       s.store.FreezeStatsSnapshot(),
+		WAL:          s.store.DurabilityStatsSnapshot(),
 		Requests:     make(map[string]uint64, len(s.requests)),
 	}
 	for name, ctr := range s.requests {

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/cypher"
 	"repro/internal/graph"
 	"repro/internal/prov"
+	"repro/internal/wal"
 )
 
 // Epoch is one immutable snapshot of the graph, published atomically on
@@ -66,6 +68,19 @@ type Store struct {
 	freezeTotalNs atomic.Int64
 	freezeLastNs  atomic.Int64
 	freezeMaxNs   atomic.Int64
+
+	// Durability (nil/zero on memory-only stores, see OpenDurable). Each
+	// commit appends its delta to the write-ahead log before the epoch
+	// pointer swap publishes it; a background checkpointer bounds the log.
+	wal             *wal.Manager
+	walErr          error // sticky append failure: the store refuses writes (under writeMu)
+	checkpointEvery int
+	sinceCkpt       atomic.Int64
+	ckptCh          chan struct{}
+	stopCh          chan struct{}
+	ckptDone        chan struct{}
+	ckptFails       atomic.Uint64
+	closeOnce       sync.Once
 
 	started time.Time
 }
@@ -109,18 +124,26 @@ func (s *Store) FreezeStatsSnapshot() FreezeStats {
 	}
 }
 
-// NewStore wraps an existing PROV graph. cacheCap bounds the segment cache
-// (entries; <=0 selects the default).
+// NewStore wraps an existing PROV graph in a memory-only store. cacheCap
+// bounds the segment cache (entries; <=0 selects the default). For a store
+// that survives restarts see OpenDurable.
 func NewStore(p *prov.Graph, cacheCap int) *Store {
+	return newStore(p, prov.WrapRecorder(p), cacheCap, 0)
+}
+
+// newStore builds the store around an existing recorder, publishing the
+// initial snapshot at the given epoch number (non-zero when recovery
+// resumes a pre-crash epoch sequence).
+func newStore(p *prov.Graph, rec *prov.Recorder, cacheCap int, epoch uint64) *Store {
 	s := &Store{
-		rec:     prov.WrapRecorder(p),
+		rec:     rec,
 		cache:   newSegCache(cacheCap),
 		started: time.Now(),
 	}
 	start := time.Now()
 	fz := p.Freeze()
 	s.observeFreeze(false, time.Since(start))
-	s.snap.Store(&Epoch{N: 0, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()})
+	s.snap.Store(&Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()})
 	return s
 }
 
@@ -142,19 +165,48 @@ func (s *Store) View(fn func(p *prov.Graph)) {
 // delta (prov.ExtendFrozen), so commit cost tracks the batch size, not
 // the total graph size; a full rebuild happens only when the previous
 // epoch is unusable as a base (see graph.ExtendFrozen).
+// On durable stores the committed batch is additionally encoded as a graph
+// delta and appended to the write-ahead log — fsynced per the configured
+// policy — strictly before the snapshot swap publishes the epoch, so no
+// client ever observes a state a crash could lose (under fsync=always). A
+// WAL append failure poisons the store: the batch stays unpublished and all
+// further writes are refused, because the in-memory graph and the log can
+// no longer be reconciled.
 func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	if s.walErr != nil {
+		return fmt.Errorf("store: writes disabled after write-ahead log failure: %w", s.walErr)
+	}
 	if err := fn(s.rec); err != nil {
 		return err
 	}
 	old := s.snap.Load()
+	if s.wal != nil {
+		var buf bytes.Buffer
+		err := s.rec.P.PG().EncodeDelta(&buf, old.P.PG().Dict().Len(), old.Vertices, old.Edges)
+		if err == nil {
+			err = s.wal.Append(old.N+1, buf.Bytes())
+		}
+		if err != nil {
+			s.walErr = err
+			return fmt.Errorf("store: write-ahead log: %w", err)
+		}
+	}
 	start := time.Now()
 	fz, incremental := s.rec.P.ExtendFrozen(old.P)
 	s.observeFreeze(incremental, time.Since(start))
 	ep := &Epoch{N: old.N + 1, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
 	s.cache.advance(ep, old)
 	s.snap.Store(ep)
+	if s.wal != nil {
+		if n := s.sinceCkpt.Add(1); s.checkpointEvery > 0 && n >= int64(s.checkpointEvery) {
+			select {
+			case s.ckptCh <- struct{}{}:
+			default: // checkpointer already signaled
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// writeRecords appends the given (epoch, payload) pairs to a fresh log at
+// path and closes it, returning the raw file bytes.
+func writeRecords(t *testing.T, path string, recs [][]byte) []byte {
+	t.Helper()
+	lg, err := OpenLog(path, 0, nil)
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	for i, p := range recs {
+		if err := lg.Append(uint64(i+1), p, true); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func replayAll(t *testing.T, data []byte) ([][]byte, ReplayInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := Replay(bytes.NewReader(data), func(epoch uint64, payload []byte) error {
+		if int(epoch) != len(got)+1 {
+			t.Fatalf("epoch %d out of order (want %d)", epoch, len(got)+1)
+		}
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, info
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	recs := [][]byte{[]byte("alpha"), {}, []byte("gamma with a longer payload"), {0x00, 0xff}}
+	data := writeRecords(t, filepath.Join(t.TempDir(), "w.log"), recs)
+	got, info := replayAll(t, data)
+	if info.Torn || info.Records != len(recs) || info.GoodBytes != int64(len(data)) {
+		t.Fatalf("info = %+v, want %d records over %d bytes", info, len(recs), len(data))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch: %q vs %q", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestLogTornTail truncates the log at every byte offset: replay must
+// return exactly the records whose frames fit, flag everything else torn,
+// and never error or panic.
+func TestLogTornTail(t *testing.T) {
+	recs := [][]byte{[]byte("one"), []byte("two-two"), []byte("33333")}
+	data := writeRecords(t, filepath.Join(t.TempDir(), "w.log"), recs)
+	// Frame boundaries: prefix sums of 8-byte header + 8-byte epoch + payload.
+	bounds := []int64{0}
+	for _, r := range recs {
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(frameHeaderLen+bodyHeaderLen+len(r)))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		got, info := replayAll(t, data[:cut])
+		wantN := 0
+		for _, b := range bounds[1:] {
+			if int64(cut) >= b {
+				wantN++
+			}
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(got), wantN)
+		}
+		if info.GoodBytes != bounds[wantN] {
+			t.Fatalf("cut %d: GoodBytes %d, want %d", cut, info.GoodBytes, bounds[wantN])
+		}
+		if wantTorn := int64(cut) != bounds[wantN]; info.Torn != wantTorn {
+			t.Fatalf("cut %d: Torn=%v, want %v", cut, info.Torn, wantTorn)
+		}
+	}
+}
+
+// TestLogCorruptRecord flips one byte at every offset: replay stops at (or
+// before) the record containing the flip and never panics.
+func TestLogCorruptRecord(t *testing.T) {
+	recs := [][]byte{[]byte("aaaa"), []byte("bbbbbbbb"), []byte("cc")}
+	data := writeRecords(t, filepath.Join(t.TempDir(), "w.log"), recs)
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5a
+		var n int
+		info, err := Replay(bytes.NewReader(mut), func(epoch uint64, payload []byte) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		// The flip corrupts exactly one frame; all records before it must
+		// survive, nothing after it may be read (a corrupt length field can
+		// also swallow the rest of the file, which is fine — it's torn).
+		if !info.Torn && n != len(recs) {
+			t.Fatalf("off %d: not torn but only %d records", off, n)
+		}
+	}
+}
+
+func TestOpenLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	data := writeRecords(t, path, [][]byte{[]byte("keep"), []byte("gone")})
+	// Chop mid-way through the second record, reopen at the good prefix,
+	// append a replacement; replay must see keep + replacement.
+	_, info := replayAll(t, data[:len(data)-3])
+	if info.Records != 1 || !info.Torn {
+		t.Fatalf("setup: %+v", info)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := OpenLog(path, info.GoodBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Append(2, []byte("replacement"), true); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	reread, _ := os.ReadFile(path)
+	got, info := replayAll(t, reread)
+	if info.Torn || len(got) != 2 || string(got[0]) != "keep" || string(got[1]) != "replacement" {
+		t.Fatalf("after reopen: %+v %q", info, got)
+	}
+}
+
+// --- manager tests ---
+
+// testGraph builds a small prov-shaped graph the manager can checkpoint.
+func testGraph(n int) *graph.Graph {
+	g := graph.New()
+	l := g.Dict().Intern("v")
+	el := g.Dict().Intern("e")
+	for i := 0; i < n; i++ {
+		v := g.AddVertex(l)
+		g.SetVertexProp(v, "name", graph.String(fmt.Sprintf("n%d", i)))
+		if i > 0 {
+			g.AddEdge(v, v-1, el)
+		}
+	}
+	return g
+}
+
+// appendBatch mutates g with one batch and appends the delta at epoch.
+func appendBatch(t *testing.T, m *Manager, g *graph.Graph, epoch uint64, extra int) (baseDict, baseV, baseE int) {
+	t.Helper()
+	baseDict, baseV, baseE = g.Dict().Len(), g.NumVertices(), g.NumEdges()
+	l, _ := g.Dict().Lookup("v")
+	el, _ := g.Dict().Lookup("e")
+	for i := 0; i < extra; i++ {
+		v := g.AddVertex(l)
+		if int(v) > 0 {
+			g.AddEdge(v, 0, el)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.EncodeDelta(&buf, baseDict, baseV, baseE); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(epoch, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func openDir(t *testing.T, dir string) (*Manager, *Recovery) {
+	t.Helper()
+	m, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return m, rec
+}
+
+func TestManagerBootstrapAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	m, rec := openDir(t, dir)
+	if !rec.Fresh {
+		t.Fatalf("fresh dir not reported fresh: %+v", rec)
+	}
+	g := testGraph(5)
+	if err := m.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(t, m, g, 1, 3)
+	appendBatch(t, m, g, 2, 2)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rec2 := openDir(t, dir)
+	defer m2.Close()
+	if rec2.Fresh || rec2.Epoch != 2 || rec2.Replayed != 2 || rec2.TornTail {
+		t.Fatalf("recovery: %+v", rec2)
+	}
+	if rec2.Graph.NumVertices() != g.NumVertices() || rec2.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("recovered %d/%d, want %d/%d", rec2.Graph.NumVertices(), rec2.Graph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	// Ingest resumes on the recovered state.
+	appendBatch(t, m2, rec2.Graph, 3, 1)
+}
+
+func TestManagerCheckpointRotateAndCleanup(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openDir(t, dir)
+	g := testGraph(4)
+	if err := m.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	for ep := uint64(1); ep <= 3; ep++ {
+		appendBatch(t, m, g, ep, 2)
+	}
+	// Checkpoint at epoch 3: rotate then write, as the store does.
+	if err := m.Rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	fz := g.Freeze()
+	if err := m.Checkpoint(fz, 3); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(t, m, g, 4, 2)
+	st := m.StatsSnapshot()
+	if st.Checkpoints != 2 || st.LastCheckpointEpoch != 3 || st.Records != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	m.Close()
+
+	// Old checkpoint-0 and wal-0 must be gone.
+	for _, name := range []string{checkpointName(0), logName(0)} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("obsolete file %s survived cleanup", name)
+		}
+	}
+	m2, rec := openDir(t, dir)
+	defer m2.Close()
+	if rec.CheckpointEpoch != 3 || rec.Epoch != 4 || rec.Replayed != 1 {
+		t.Fatalf("recovery after checkpoint: %+v", rec)
+	}
+	if rec.Graph.NumVertices() != g.NumVertices() {
+		t.Fatalf("recovered shape mismatch")
+	}
+}
+
+// TestManagerCrashBetweenRotateAndCheckpoint models the crash window where
+// the new log exists but its checkpoint was never written: recovery must
+// chain the old checkpoint through both logs.
+func TestManagerCrashBetweenRotateAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openDir(t, dir)
+	g := testGraph(3)
+	if err := m.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(t, m, g, 1, 2)
+	appendBatch(t, m, g, 2, 2)
+	if err := m.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no Checkpoint(., 2). Records keep landing in wal-2.
+	appendBatch(t, m, g, 3, 4)
+	m.Close()
+
+	m2, rec := openDir(t, dir)
+	defer m2.Close()
+	if rec.CheckpointEpoch != 0 || rec.Epoch != 3 || rec.Replayed != 3 {
+		t.Fatalf("chained recovery: %+v", rec)
+	}
+	if rec.Graph.NumVertices() != g.NumVertices() || rec.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("chained recovery shape mismatch")
+	}
+}
+
+func TestManagerRejectsEpochGap(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openDir(t, dir)
+	g := testGraph(2)
+	if err := m.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(t, m, g, 1, 1)
+	// Skip epoch 2: append a (structurally valid) delta labeled epoch 3.
+	appendBatch(t, m, g, 3, 1)
+	m.Close()
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrRecovery) {
+		t.Fatalf("epoch gap: want ErrRecovery, got %v", err)
+	}
+}
+
+func TestManagerLogsWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName(0)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrRecovery) {
+		t.Fatalf("want ErrRecovery, got %v", err)
+	}
+}
+
+func TestDirHasState(t *testing.T) {
+	dir := t.TempDir()
+	if has, err := DirHasState(dir); err != nil || has {
+		t.Fatalf("empty dir: has=%v err=%v", has, err)
+	}
+	if has, err := DirHasState(filepath.Join(dir, "missing")); err != nil || has {
+		t.Fatalf("missing dir: has=%v err=%v", has, err)
+	}
+	m, _ := openDir(t, dir)
+	if err := m.Bootstrap(testGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if has, err := DirHasState(dir); err != nil || !has {
+		t.Fatalf("bootstrapped dir: has=%v err=%v", has, err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"never", SyncNever}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() round-trip: %q vs %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,35 +1,45 @@
-// Command provd is the provenance query daemon: it loads a .pg graph (or
-// generates a synthetic lifecycle graph) and serves the PgSeg / PgSum /
-// Cypher operators plus lifecycle ingestion over an HTTP JSON API.
+// Command provd is the provenance query daemon: it hosts one or more named
+// provenance stores (shards) — each a .pg graph, a generated synthetic
+// lifecycle graph, or a pure-ingest empty graph — and serves the PgSeg /
+// PgSum / Cypher operators plus lifecycle ingestion over an HTTP JSON API.
 //
 // Usage:
 //
 //	provd -in project.pg -addr :8042
 //	provd -gen 10000 -seed 1 -addr :8042
 //	provd -data /var/lib/provd -addr :8042
+//	provd -data /var/lib/provd -stores audit,ml -addr :8042
 //
-// With -data the daemon is durable: every committed ingest batch is
-// appended to a write-ahead log in the data directory (fsynced per -fsync)
-// before it is published, a background checkpointer persists the full graph
-// every -checkpoint-every batches, and a restart recovers the exact
-// pre-crash epoch from checkpoint + log tail. -in/-gen seed a fresh data
-// directory only; restarting over existing state refuses them.
+// With -data the daemon is durable: every committed ingest batch is made
+// durable in the store's write-ahead log (fsynced per -fsync; concurrent
+// batches share one fsync via group commit unless -group-commit=false)
+// before it is published, a background checkpointer persists each store's
+// graph every -checkpoint-every batches, and a restart recovers every
+// store's exact pre-crash epoch from its checkpoint + log tail. Each store
+// owns the subdirectory -data/<name>/; every subdirectory holding state is
+// recovered at boot even if not named in -stores. -in/-gen seed a fresh
+// default store only; restarting over existing state refuses them.
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server; every store-scoped endpoint also exists
+// unprefixed against the store named "default"):
 //
-//	POST /segment    {"src":[0,1],"dst":[9000],"exclude_rels":["A","D"]}
-//	POST /summarize  {"segments":[{"src":[0],"dst":[50]},{"src":[1],"dst":[60]}]}
-//	POST /query      {"query":"match (e:E) where id(e) in [0, 1] return e"}
-//	POST /adjust     {"segment":{"src":[0],"dst":[9000]},"exclude_kinds":["U"]}
-//	POST /ingest     {"ops":[{"op":"run","agent":"alice","command":"train",
-//	                          "inputs":[3],"outputs":["model"]}]}
-//	GET  /stats
-//	GET  /metrics
-//	GET  /healthz
-//	GET  /export?format=prov-json|dot|pg
+//	POST /stores/{name}/segment    {"src":[0,1],"dst":[9000],"exclude_rels":["A","D"]}
+//	POST /stores/{name}/summarize  {"segments":[{"src":[0],"dst":[50]},{"src":[1],"dst":[60]}]}
+//	POST /stores/{name}/query      {"query":"match (e:E) where id(e) in [0, 1] return e"}
+//	POST /stores/{name}/adjust     {"segment":{"src":[0],"dst":[9000]},"exclude_kinds":["U"]}
+//	POST /stores/{name}/ingest     {"ops":[{"op":"run","agent":"alice","command":"train",
+//	                                        "inputs":[3],"outputs":["model"]}]}
+//	GET  /stores/{name}/stats
+//	GET  /stores/{name}/metrics
+//	GET  /stores/{name}/healthz
+//	GET  /stores/{name}/export?format=prov-json|dot|pg
+//	PUT  /stores/{name}            create a store at runtime
+//	GET  /stores                   list stores
 //
-// All reads are served lock-free from an immutable epoch snapshot; ingest
-// publishes a new snapshot per committed batch.
+// All reads are served lock-free from the routed store's immutable epoch
+// snapshot; ingest publishes a new snapshot per committed batch. Stores are
+// independent shards: ingest into one never blocks, fsyncs with, or
+// invalidates caches of another.
 package main
 
 import (
@@ -42,6 +52,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,29 +66,31 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8042", "listen address")
-	in := flag.String("in", "", "input .pg graph (mutually exclusive with -gen)")
-	genN := flag.Int("gen", 0, "generate a synthetic Pd lifecycle graph with this many vertices")
+	in := flag.String("in", "", "input .pg graph seeding the default store (mutually exclusive with -gen)")
+	genN := flag.Int("gen", 0, "generate a synthetic Pd lifecycle graph with this many vertices as the default store")
 	seed := flag.Int64("seed", 1, "generator seed (with -gen)")
-	cacheCap := flag.Int("cache", 256, "segment result cache capacity (entries)")
-	dataDir := flag.String("data", "", "data directory for durable serving (write-ahead log + checkpoints); empty serves memory-only")
+	cacheCap := flag.Int("cache", 256, "segment result cache capacity per store (entries)")
+	stores := flag.String("stores", "", "comma-separated extra store names to open or create at boot (the \"default\" store always exists)")
+	dataDir := flag.String("data", "", "root data directory for durable serving (per-store write-ahead log + checkpoints under <data>/<store>/); empty serves memory-only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always (every commit), interval (background flush), never (OS-paced)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background flush period with -fsync interval")
-	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints (bounds log growth and restart replay)")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints per store (bounds log growth and restart replay)")
+	groupCommit := flag.Bool("group-commit", true, "amortize WAL fsyncs across concurrent ingest batches (one fsync per commit group instead of per batch)")
 	flag.Parse()
 
-	store, err := openStore(*dataDir, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery)
+	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit)
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
-	defer store.Close()
+	defer reg.Close()
 
-	st := store.Stats()
-	log.Printf("provd: serving %d vertices, %d edges on %s (epoch %d, cache capacity %d)",
-		st.Vertices, st.Edges, *addr, st.Epoch, *cacheCap)
+	st := reg.Default().Stats()
+	log.Printf("provd: serving %d stores (default: %d vertices, %d edges, epoch %d) on %s (cache capacity %d/store)",
+		len(reg.Names()), st.Vertices, st.Edges, st.Epoch, *addr, *cacheCap)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewServer(store),
+		Handler:           server.NewMultiServer(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -84,6 +98,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
+	// The resolved address matters when -addr asked for port 0.
+	log.Printf("provd: listening on %s", ln.Addr())
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,7 +110,7 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			store.Close()
+			reg.Close()
 			log.Fatalf("provd: %v", err)
 		}
 	case <-ctx.Done():
@@ -104,54 +120,67 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("provd: shutdown: %v", err)
 		}
-		// The deferred store.Close seals the WAL and writes a final
-		// checkpoint once no more requests can commit.
+		// The deferred reg.Close seals every store's WAL and writes final
+		// checkpoints once no more requests can commit.
 	}
 }
 
-// openStore builds the memory-only or durable store per the flags.
-func openStore(dataDir, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int) (*server.Store, error) {
-	if dataDir == "" {
-		p, err := openGraph(in, genN, seed)
-		if err != nil {
-			return nil, err
-		}
-		return server.NewStore(p, cacheCap), nil
-	}
-	policy, err := wal.ParseSyncPolicy(fsync)
-	if err != nil {
-		return nil, err
-	}
-	// -in/-gen describe a starting graph; recovered state IS the graph, so
-	// combining them would silently discard one of the two. Make the
-	// operator choose (a fresh directory, or dropping the seed flags).
-	if in != "" || genN > 0 {
-		has, err := wal.DirHasState(dataDir)
-		if err != nil {
-			return nil, err
-		}
-		if has {
-			return nil, fmt.Errorf("-data %s already holds state; restart without -in/-gen (or point -data at a fresh directory)", dataDir)
+// openRegistry builds the memory-only or durable store registry per the
+// flags.
+func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int, groupCommit bool) (*server.Registry, error) {
+	var extra []string
+	for _, name := range strings.Split(stores, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			extra = append(extra, name)
 		}
 	}
-	store, rcv, err := server.OpenDurable(server.DurableOptions{
-		Dir:             dataDir,
-		Fsync:           policy,
-		SyncInterval:    fsyncInterval,
+	opts := server.RegistryOptions{
+		DataDir:         dataDir,
 		CheckpointEvery: checkpointEvery,
 		CacheCap:        cacheCap,
-	}, func() (*prov.Graph, error) { return openGraph(in, genN, seed) })
+		NoGroupCommit:   !groupCommit,
+	}
+	if dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(fsync)
+		if err != nil {
+			return nil, err
+		}
+		opts.Fsync = policy
+		opts.SyncInterval = fsyncInterval
+		// -in/-gen describe a starting graph; recovered state IS the graph,
+		// so combining them would silently discard one of the two. Make the
+		// operator choose (a fresh directory, or dropping the seed flags).
+		// The default store's state lives in <data>/default/, or directly in
+		// <data>/ for pre-sharding directories.
+		if in != "" || genN > 0 {
+			for _, dir := range []string{dataDir, filepath.Join(dataDir, server.DefaultStore)} {
+				has, err := wal.DirHasState(dir)
+				if err != nil {
+					return nil, err
+				}
+				if has {
+					return nil, fmt.Errorf("-data %s already holds state; restart without -in/-gen (or point -data at a fresh directory)", dataDir)
+				}
+			}
+		}
+	}
+	reg, rcvs, err := server.OpenRegistry(opts, extra, func() (*prov.Graph, error) { return openGraph(in, genN, seed) })
 	if err != nil {
 		return nil, err
 	}
-	if rcv.Fresh {
-		log.Printf("provd: initialized data directory %s (fsync=%s, checkpoint every %d batches)",
-			dataDir, policy, checkpointEvery)
-	} else {
-		log.Printf("provd: recovered epoch %d from %s (checkpoint %d + %d WAL records, torn tail: %v)",
-			rcv.Epoch, dataDir, rcv.CheckpointEpoch, rcv.Replayed, rcv.TornTail)
+	for _, sr := range rcvs {
+		switch {
+		case dataDir == "":
+			// memory-only: nothing recovered, nothing durable
+		case sr.Rcv.Fresh:
+			log.Printf("provd: store %q: initialized %s (fsync=%s, group commit %v, checkpoint every %d batches)",
+				sr.Name, filepath.Join(dataDir, sr.Name), fsync, groupCommit, checkpointEvery)
+		default:
+			log.Printf("provd: store %q: recovered epoch %d (checkpoint %d + %d WAL records, torn tail: %v)",
+				sr.Name, sr.Rcv.Epoch, sr.Rcv.CheckpointEpoch, sr.Rcv.Replayed, sr.Rcv.TornTail)
+		}
 	}
-	return store, nil
+	return reg, nil
 }
 
 // openGraph loads the input .pg file, or generates a Pd graph, or (with

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// End-to-end daemon test: build the real provd binary, boot it with -data,
+// create two stores over HTTP, ingest into both, SIGTERM it, boot again
+// over the same directory, and require both stores back at their exact
+// pre-shutdown epochs with their data intact. This is the full
+// flags → registry → directory tree → recovery path, as an operator runs it.
+
+// buildProvd compiles the daemon once per test binary.
+func buildProvd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "provd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// provdProc is one running daemon.
+type provdProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+
+	mu   sync.Mutex // guards logs: the scanner goroutine appends while failure paths read
+	logs bytes.Buffer
+}
+
+func (p *provdProc) appendLog(line string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.logs.WriteString(line + "\n")
+}
+
+func (p *provdProc) logText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.logs.String()
+}
+
+// startProvd boots the daemon on an OS-assigned port and waits until it
+// serves /healthz. The resolved address is parsed from the startup log.
+func startProvd(t *testing.T, bin string, args ...string) *provdProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &provdProc{cmd: cmd}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.appendLog(line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatalf("provd never reported its address; logs:\n%s", p.logText())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("provd never became healthy; logs:\n%s", p.logText())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stop SIGTERMs the daemon (the graceful path that seals WALs and writes
+// final checkpoints) and waits for exit.
+func (p *provdProc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("provd exit: %v; logs:\n%s", err, p.logText())
+		}
+	case <-time.After(30 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("provd did not shut down; logs:\n%s", p.logText())
+	}
+}
+
+// httpJSON issues one request and decodes the JSON reply.
+func httpJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func ingestN(t *testing.T, base, store string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		req := server.IngestRequest{Ops: []server.IngestOp{
+			{Op: "import", Agent: "op-" + store, Artifact: fmt.Sprintf("%s-file-%d", store, i), URL: "http://x"},
+		}}
+		var resp server.IngestResponse
+		if code := httpJSON(t, http.MethodPost, base+"/stores/"+store+"/ingest", req, &resp); code != http.StatusOK {
+			t.Fatalf("ingest %s #%d: status %d", store, i, code)
+		}
+	}
+}
+
+func storeEpoch(t *testing.T, base, store string) (uint64, int) {
+	t.Helper()
+	var m server.MetricsResponse
+	if code := httpJSON(t, http.MethodGet, base+"/stores/"+store+"/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics %s: status %d", store, code)
+	}
+	return m.Epoch, m.Vertices
+}
+
+func TestProvdRestartRecoversStores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon; skipped in -short")
+	}
+	bin := buildProvd(t)
+	dataDir := t.TempDir()
+
+	p := startProvd(t, bin, "-data", dataDir, "-checkpoint-every", "3")
+	var created server.StoreCreateResponse
+	for _, name := range []string{"alpha", "beta"} {
+		if code := httpJSON(t, http.MethodPut, p.base+"/stores/"+name, nil, &created); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, code)
+		}
+	}
+	ingestN(t, p.base, "alpha", 2)
+	ingestN(t, p.base, "beta", 5)
+	ingestN(t, p.base, server.DefaultStore, 1)
+	wantAlphaE, wantAlphaV := storeEpoch(t, p.base, "alpha")
+	wantBetaE, wantBetaV := storeEpoch(t, p.base, "beta")
+	if wantAlphaE != 2 || wantBetaE != 5 {
+		t.Fatalf("pre-shutdown epochs: alpha %d, beta %d", wantAlphaE, wantBetaE)
+	}
+	p.stop(t)
+
+	// Second boot: no -stores flag — the directory scan must find both.
+	p2 := startProvd(t, bin, "-data", dataDir, "-checkpoint-every", "3")
+	var list server.StoreListResponse
+	if code := httpJSON(t, http.MethodGet, p2.base+"/stores", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	names := make([]string, 0, len(list.Stores))
+	for _, s := range list.Stores {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "default,alpha,beta" {
+		t.Fatalf("recovered stores %v, want [default alpha beta]", names)
+	}
+	if e, v := storeEpoch(t, p2.base, "alpha"); e != wantAlphaE || v != wantAlphaV {
+		t.Errorf("alpha recovered to epoch %d (%d vertices), want %d (%d)", e, v, wantAlphaE, wantAlphaV)
+	}
+	if e, v := storeEpoch(t, p2.base, "beta"); e != wantBetaE || v != wantBetaV {
+		t.Errorf("beta recovered to epoch %d (%d vertices), want %d (%d)", e, v, wantBetaE, wantBetaV)
+	}
+	if e, _ := storeEpoch(t, p2.base, server.DefaultStore); e != 1 {
+		t.Errorf("default recovered to epoch %d, want 1", e)
+	}
+	// The recovered stores still serve queries and accept writes.
+	var qr server.QueryResponse
+	if code := httpJSON(t, http.MethodPost, p2.base+"/stores/beta/query",
+		server.QueryRequest{Query: "match (e:E) return e"}, &qr); code != http.StatusOK {
+		t.Fatalf("query on recovered store: status %d", code)
+	}
+	// beta holds 5 imports: 5 entities plus the one importing agent vertex.
+	if len(qr.Rows) != 5 {
+		t.Errorf("beta query returned %d entities, want 5 (vertices %d)", len(qr.Rows), wantBetaV)
+	}
+	ingestN(t, p2.base, "alpha", 1)
+	if e, _ := storeEpoch(t, p2.base, "alpha"); e != wantAlphaE+1 {
+		t.Errorf("alpha post-restart ingest landed at epoch %d, want %d", e, wantAlphaE+1)
+	}
+	p2.stop(t)
+}
+
+// TestProvdRefusesSeedOverState re-checks the -in/-gen guard against the
+// sharded layout: a restart over existing default-store state must refuse
+// the seed flags.
+func TestProvdRefusesSeedOverState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon; skipped in -short")
+	}
+	bin := buildProvd(t)
+	dataDir := t.TempDir()
+	p := startProvd(t, bin, "-data", dataDir)
+	ingestN(t, p.base, server.DefaultStore, 1)
+	p.stop(t)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-gen", "100")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("provd accepted -gen over existing state:\n%s", out)
+	}
+	if !strings.Contains(string(out), "already holds state") {
+		t.Fatalf("unexpected failure mode: %v\n%s", err, out)
+	}
+}

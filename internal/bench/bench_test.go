@@ -11,11 +11,50 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 10 {
-		t.Fatalf("want 10 panels, got %v", IDs())
+	if len(IDs()) != 11 {
+		t.Fatalf("want 11 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
+	}
+}
+
+// TestRunShardIngestTiny drives the sharded-ingest measurement core on a
+// miniature workload, group commit on and off: both must commit every
+// batch and report a positive rate.
+func TestRunShardIngestTiny(t *testing.T) {
+	for _, group := range []bool{true, false} {
+		rate, err := runShardIngest(2, 2, 12, group)
+		if err != nil {
+			t.Fatalf("group=%v: %v", group, err)
+		}
+		if rate <= 0 {
+			t.Fatalf("group=%v: rate %f", group, rate)
+		}
+	}
+}
+
+// TestFigShardTiny runs the shard panel end to end: every cell must be a
+// measurement, and the workload sizes must satisfy the >=8-writer bar the
+// panel exists to document.
+func TestFigShardTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded ingest sweep pays real fsyncs")
+	}
+	if w, _ := shardWorkload(ScaleSmall); w < 8 {
+		t.Fatalf("small-scale writer pool %d, want >=8", w)
+	}
+	fig := FigShard(ScaleSmall)
+	if len(fig.Rows) != 3 {
+		t.Fatalf("want 3 shard points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			c := r.Cells[s]
+			if c == "" || c == "err" {
+				t.Fatalf("bad cell %s at stores=%s: %q (%q)", s, r.X, c, r.Cells["speedup"])
+			}
+		}
 	}
 }
 

@@ -92,14 +92,39 @@ type AdjustRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
-// MetricsResponse is the GET /metrics payload: service-level counters for
+// StoreCreateResponse is the PUT /stores/{name} reply.
+type StoreCreateResponse struct {
+	Store string `json:"store"`
+	// Created reports whether this request created the store (false: it
+	// already existed; the PUT is idempotent).
+	Created bool   `json:"created"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// StoreInfo is one store's headline state in the GET /stores listing.
+type StoreInfo struct {
+	Name     string `json:"name"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Durable  bool   `json:"durable"`
+}
+
+// StoreListResponse is the GET /stores reply, default store first.
+type StoreListResponse struct {
+	Stores []StoreInfo `json:"stores"`
+}
+
+// MetricsResponse is the GET /metrics payload: store-level counters for
 // observability — the current epoch, cache effectiveness (including how
 // often ingest deltas revalidated vs. purged cached segments), how commit
 // snapshots were built (incremental CSR extension vs full rebuild) and what
 // they cost, durability counters (write-ahead log volume, fsync latency,
-// checkpoints; omitted on memory-only stores), and per-endpoint request
-// counts since start.
+// group-commit amortization, checkpoints; omitted on memory-only stores),
+// and per-endpoint request counts since start. Every counter is scoped to
+// the one store the request was routed to.
 type MetricsResponse struct {
+	Store        string            `json:"store,omitempty"`
 	Epoch        uint64            `json:"epoch"`
 	Vertices     int               `json:"vertices"`
 	Edges        int               `json:"edges"`

@@ -34,7 +34,19 @@ type DurableOptions struct {
 	CheckpointEvery int
 	// CacheCap bounds the segment cache (entries; <=0 selects the default).
 	CacheCap int
+	// NoGroupCommit disables group commit, restoring the append-then-fsync-
+	// per-batch write path. With group commit (the default) concurrent
+	// Update callers stage encoded deltas into a commit queue; a committer
+	// goroutine appends the whole group, issues one fsync, then publishes
+	// the member epochs in order — the fsync cost amortizes across writers
+	// while a batch still never becomes visible before it is durable.
+	NoGroupCommit bool
 }
+
+// commitQueueCap bounds the staged-batch queue. Staging blocks (under the
+// write mutex) when the committer falls this far behind, which is the
+// backpressure that keeps unpublished epochs from piling up without bound.
+const commitQueueCap = 256
 
 // defaultCheckpointEvery bounds WAL replay at restart to a few hundred
 // batch-sized deltas, which replays in well under a second.
@@ -99,9 +111,21 @@ func OpenDurable(opts DurableOptions, seed func() (*prov.Graph, error)) (*Store,
 	s.ckptCh = make(chan struct{}, 1)
 	s.stopCh = make(chan struct{})
 	s.ckptDone = make(chan struct{})
+	s.pubCh = make(chan struct{}, 1)
+	s.resolved.Store(rcv.Epoch)
+	if !opts.NoGroupCommit {
+		s.groupCommit = true
+		s.commitCh = make(chan *commitReq, commitQueueCap)
+		s.commitStop = make(chan struct{})
+		s.commitDone = make(chan struct{})
+		go s.commitLoop()
+	}
 	go s.checkpointLoop()
 	return s, rcv, nil
 }
+
+// GroupCommit reports whether the store commits through the group path.
+func (s *Store) GroupCommit() bool { return s.groupCommit }
 
 // Durable reports whether the store persists commits to a write-ahead log.
 func (s *Store) Durable() bool { return s.wal != nil }
@@ -127,6 +151,21 @@ func (s *Store) checkpointLoop() {
 // for the rotation, never for the checkpoint serialization.
 func (s *Store) checkpointNow() error {
 	s.writeMu.Lock()
+	// Under group commit the write mutex freezes the staged tail but the
+	// committer may still be appending or owe publishes; wait until it has
+	// RESOLVED everything staged — published it, or failed it without
+	// acknowledging — before choosing the rotation point. Only then is it
+	// safe to rotate and let the checkpoint's cleanup delete old logs:
+	// every acknowledged epoch is <= snap (covered by the checkpoint), and
+	// records beyond snap, if any, belong to failed-and-unacknowledged
+	// batches. Waiting on publishes alone would deadlock on a poisoned
+	// committer; skipping the wait when poisoned would race a healthy group
+	// still inside its append.
+	if s.groupCommit {
+		for tailN := s.tail.N; s.resolved.Load() < tailN; {
+			<-s.pubCh
+		}
+	}
 	ep := s.snap.Load()
 	err := s.wal.Rotate(ep.N)
 	if err == nil {
@@ -151,6 +190,13 @@ func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stopCh)
 		<-s.ckptDone
+		if s.commitStop != nil {
+			// Stop the committer after the checkpointer: a checkpoint in
+			// flight may be waiting on the committer's publishes. Close never
+			// races Update, so the queue drains and snap catches the tail.
+			close(s.commitStop)
+			<-s.commitDone
+		}
 		if s.sinceCkpt.Load() > 0 {
 			if cerr := s.checkpointNow(); cerr != nil {
 				s.ckptFails.Add(1)
@@ -166,9 +212,21 @@ func (s *Store) Close() error {
 // checkpoint. Nil on memory-only stores.
 type DurabilityStats struct {
 	wal.ManagerStats
-	CheckpointEvery    int    `json:"checkpoint_every"`
-	SinceCheckpoint    int64  `json:"since_checkpoint"`
-	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	CheckpointEvery    int              `json:"checkpoint_every"`
+	SinceCheckpoint    int64            `json:"since_checkpoint"`
+	CheckpointFailures uint64           `json:"checkpoint_failures"`
+	GroupCommit        GroupCommitStats `json:"group_commit"`
+}
+
+// GroupCommitStats is the /metrics group-commit panel: how staged batches
+// coalesced into fsync groups. Records/Groups is the average amortization
+// factor; it approaches the writer concurrency under load.
+type GroupCommitStats struct {
+	Enabled bool   `json:"enabled"`
+	Groups  uint64 `json:"groups"`
+	Records uint64 `json:"records"`
+	Last    int64  `json:"last_size"`
+	Max     int64  `json:"max_size"`
 }
 
 // DurabilityStatsSnapshot returns the current durability counters, or nil
@@ -182,5 +240,12 @@ func (s *Store) DurabilityStatsSnapshot() *DurabilityStats {
 		CheckpointEvery:    s.checkpointEvery,
 		SinceCheckpoint:    s.sinceCkpt.Load(),
 		CheckpointFailures: s.ckptFails.Load(),
+		GroupCommit: GroupCommitStats{
+			Enabled: s.groupCommit,
+			Groups:  s.groups.Load(),
+			Records: s.groupRecords.Load(),
+			Last:    s.groupLast.Load(),
+			Max:     s.groupMax.Load(),
+		},
 	}
 }

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prov"
+	"repro/internal/wal"
+)
+
+// Group-commit unit tests. commitHold makes group formation deterministic:
+// with it set, the committer parks after receiving a group's first request,
+// so a test can stage K concurrent writers, verify they coalesce into ONE
+// group — one fsync — and that the member epochs publish in order.
+
+// stageWriters launches n concurrent Update calls against s — writer w
+// applies op(w, rec) — and returns once all are staged (one held by the
+// committer via commitHold, n-1 queued). done receives each writer's result.
+func stageWriters(t *testing.T, s *Store, n int, done chan error, op func(w int, rec *prov.Recorder)) {
+	t.Helper()
+	var staged sync.WaitGroup
+	for w := 0; w < n; w++ {
+		w := w
+		staged.Add(1)
+		go func() {
+			err := s.Update(func(rec *prov.Recorder) error {
+				op(w, rec)
+				staged.Done()
+				return nil
+			})
+			done <- err
+		}()
+	}
+	staged.Wait() // every writer entered fn; now wait for the queue to fill
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.commitCh) < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d writers staged", len(s.commitCh)+1, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// snapshotOp is the default stageWriters workload: one disconnected
+// snapshot per writer.
+func snapshotOp(w int, rec *prov.Recorder) {
+	rec.Snapshot(fmt.Sprintf("gc-%d", w))
+}
+
+func TestGroupCommitOneFsyncPerGroup(t *testing.T) {
+	const k = 6
+	dir := t.TempDir()
+	s, _, err := OpenDurable(DurableOptions{Dir: dir, CheckpointEvery: 1 << 30, CacheCap: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.GroupCommit() {
+		t.Fatal("group commit not enabled by default")
+	}
+	s.commitHold = make(chan struct{})
+
+	done := make(chan error, k)
+	stageWriters(t, s, k, done, snapshotOp)
+	if got := s.Epoch().N; got != 0 {
+		t.Fatalf("epoch published before the group fsync: %d", got)
+	}
+	before := s.wal.StatsSnapshot()
+
+	s.commitHold <- struct{}{} // release exactly one group
+	for i := 0; i < k; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+
+	after := s.wal.StatsSnapshot()
+	if got := after.Fsyncs - before.Fsyncs; got != 1 {
+		t.Errorf("group of %d paid %d fsyncs, want 1", k, got)
+	}
+	if got := after.Records - before.Records; got != k {
+		t.Errorf("group appended %d records, want %d", got, k)
+	}
+	if got := s.Epoch().N; got != k {
+		t.Errorf("published epoch %d, want %d", got, k)
+	}
+	gs := s.DurabilityStatsSnapshot().GroupCommit
+	if !gs.Enabled || gs.Groups != 1 || gs.Records != k || gs.Last != k || gs.Max != k {
+		t.Errorf("group stats: %+v", gs)
+	}
+
+	// The log carries the group as consecutive epochs in publish order.
+	var epochs []uint64
+	_, err = wal.ReplayFile(filepath.Join(dir, fmt.Sprintf("wal-%016x.log", 0)), func(epoch uint64, payload []byte) error {
+		epochs = append(epochs, epoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != k {
+		t.Fatalf("log holds %d records, want %d", len(epochs), k)
+	}
+	for i, e := range epochs {
+		if e != uint64(i+1) {
+			t.Fatalf("log epoch order broken at %d: %v", i, epochs)
+		}
+	}
+}
+
+// TestGroupCommitRespectsDisable covers the NoGroupCommit escape hatch: the
+// inline path must pay one fsync per batch and survive a restart.
+func TestGroupCommitRespectsDisable(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(DurableOptions{Dir: dir, NoGroupCommit: true, CheckpointEvery: 1 << 30, CacheCap: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupCommit() {
+		t.Fatal("NoGroupCommit ignored")
+	}
+	before := s.wal.StatsSnapshot().Fsyncs
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := s.Update(func(rec *prov.Recorder) error {
+			rec.Snapshot(fmt.Sprintf("inline-%d", i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.wal.StatsSnapshot().Fsyncs - before; got != n {
+		t.Errorf("inline path paid %d fsyncs for %d batches, want %d", got, n, n)
+	}
+	if gs := s.DurabilityStatsSnapshot().GroupCommit; gs.Enabled || gs.Groups != 0 {
+		t.Errorf("inline path reported group stats: %+v", gs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rcv, err := OpenDurable(DurableOptions{Dir: dir, NoGroupCommit: true, CacheCap: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rcv.Epoch != n {
+		t.Fatalf("recovered epoch %d, want %d", rcv.Epoch, n)
+	}
+}
+
+// TestUpdatePanicReleasesWriteMutex: a panic inside the update closure (the
+// recorder has deliberate panics, e.g. the snapshot-watermark race guard)
+// must propagate but release the write mutex — the store keeps serving
+// instead of wedging every later ingest, the checkpointer and Close.
+func TestUpdatePanicReleasesWriteMutex(t *testing.T) {
+	run := func(t *testing.T, s *Store) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("panic did not propagate out of Update")
+				}
+			}()
+			_ = s.Update(func(rec *prov.Recorder) error { panic("recorder guard") })
+		}()
+		done := make(chan error, 1)
+		go func() {
+			done <- s.Update(func(rec *prov.Recorder) error {
+				rec.Snapshot("after-panic")
+				return nil
+			})
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("update after panic: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("write mutex still held after a panicking Update")
+		}
+	}
+	t.Run("memory", func(t *testing.T) {
+		run(t, NewStore(prov.New(), 4))
+	})
+	t.Run("durable", func(t *testing.T) {
+		s, _, err := OpenDurable(DurableOptions{Dir: t.TempDir(), CacheCap: 4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		run(t, s)
+	})
+}
+
+// TestGroupCommitCheckpointDrain forces a checkpoint while a multi-writer
+// group is parked unpublished on the commit queue: checkpointNow must wait
+// for the committer so the rotation never strands durable-but-unpublished
+// records behind a cleanup.
+func TestGroupCommitCheckpointDrain(t *testing.T) {
+	const k = 4
+	s, _, err := OpenDurable(DurableOptions{Dir: t.TempDir(), CheckpointEvery: 1 << 30, CacheCap: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.commitHold = make(chan struct{})
+	done := make(chan error, k)
+	stageWriters(t, s, k, done, snapshotOp)
+
+	ckptErr := make(chan error, 1)
+	go func() { ckptErr <- s.checkpointNow() }()
+	select {
+	case err := <-ckptErr:
+		t.Fatalf("checkpoint completed past %d unpublished epochs: %v", k, err)
+	case <-time.After(50 * time.Millisecond):
+		// parked on the drain, as it must be
+	}
+
+	s.commitHold <- struct{}{}
+	for i := 0; i < k; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("checkpoint after drain: %v", err)
+	}
+	st := s.wal.StatsSnapshot()
+	if st.LastCheckpointEpoch != k {
+		t.Errorf("checkpoint landed at epoch %d, want %d (after the whole group)", st.LastCheckpointEpoch, k)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -344,6 +345,159 @@ func TestKillReplayRecovery(t *testing.T) {
 			}
 			if err := diffStores(refSnaps[nBatches], refRecorderAt(script, nBatches), s, scriptArtifacts, scriptAgents); err != nil {
 				t.Fatalf("cut %d: resumed state: %v", cut, err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+	victim.Close()
+}
+
+// TestKillReplayGroupCommit extends the kill-replay harness to the group
+// commit path: concurrent writers coalesce into multi-record commit groups
+// (made deterministic via commitHold), the log is cut at sampled offsets
+// INSIDE committed groups — record boundaries interior to a group, torn
+// headers, mid-record bytes — and recovery must land on an exact prefix of
+// the publish order: the recovered epoch equals the number of complete
+// records the cut preserved, and the recovered state equals replaying
+// exactly those deltas. No epoch may ever surface whose delta was not
+// durable at the cut.
+func TestKillReplayGroupCommit(t *testing.T) {
+	const (
+		writersK = 4
+		rounds   = 4
+	)
+	crashDir := t.TempDir()
+	victim, rcv, err := OpenDurable(DurableOptions{Dir: crashDir, CheckpointEvery: 1 << 30, CacheCap: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcv.Fresh || !victim.GroupCommit() {
+		t.Fatalf("fresh group-commit store: fresh=%v group=%v", rcv.Fresh, victim.GroupCommit())
+	}
+	victim.commitHold = make(chan struct{})
+
+	// Each round stages writersK concurrent batches (via the shared
+	// stageWriters helper) and releases them as one commit group. Batch
+	// contents are deterministic per (round, writer) and reference nothing
+	// outside themselves, so any realized order is valid — the WAL records
+	// the one that happened.
+	for r := 0; r < rounds; r++ {
+		done := make(chan error, writersK)
+		stageWriters(t, victim, writersK, done, func(w int, rec *prov.Recorder) {
+			rec.Import("alice", fmt.Sprintf("art-r%d-w%d", r, w), "http://x")
+			rec.Snapshot(fmt.Sprintf("snap-r%d-w%d", r, w))
+		})
+		victim.commitHold <- struct{}{}
+		for w := 0; w < writersK; w++ {
+			if err := <-done; err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+		}
+	}
+	gs := victim.DurabilityStatsSnapshot().GroupCommit
+	if gs.Groups != rounds || gs.Records != writersK*rounds || gs.Max != writersK {
+		t.Fatalf("groups did not form as scripted: %+v", gs)
+	}
+
+	activeLog := "wal-" + fmt.Sprintf("%016x", 0) + ".log"
+	walData, err := os.ReadFile(filepath.Join(crashDir, activeLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := walRecordBoundaries(walData)
+	if len(bounds) != writersK*rounds+1 {
+		t.Fatalf("log holds %d records, want %d", len(bounds)-1, writersK*rounds)
+	}
+	// The publish order, straight from the log.
+	var payloads [][]byte
+	if _, err := wal.ReplayFile(filepath.Join(crashDir, activeLog), func(epoch uint64, payload []byte) error {
+		if epoch != uint64(len(payloads)+1) {
+			return fmt.Errorf("log epoch %d at position %d", epoch, len(payloads))
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// refAt replays the first n published deltas onto an empty graph — the
+	// only states recovery is allowed to land on.
+	refAt := func(n int) (*prov.Graph, *prov.Recorder) {
+		t.Helper()
+		g := prov.New()
+		rec := prov.WrapRecorder(g)
+		for _, p := range payloads[:n] {
+			first := g.PG().NumVertices()
+			if err := g.PG().ApplyDelta(bytes.NewReader(p)); err != nil {
+				t.Fatalf("reference delta: %v", err)
+			}
+			rec.IndexFrom(graph.VertexID(first))
+		}
+		return g.Freeze(), rec
+	}
+	var artifacts, agents []string
+	for r := 0; r < rounds; r++ {
+		for w := 0; w < writersK; w++ {
+			artifacts = append(artifacts, fmt.Sprintf("art-r%d-w%d", r, w), fmt.Sprintf("snap-r%d-w%d", r, w))
+		}
+	}
+	agents = []string{"alice"}
+
+	// Cut points: every record boundary (including those interior to a
+	// group), their torn-header neighbors, a mid-record byte, plus a stride
+	// sample.
+	cuts := map[int]bool{0: true, len(walData): true}
+	for i, b := range bounds {
+		cuts[int(b)] = true
+		if int(b)+1 <= len(walData) {
+			cuts[int(b)+1] = true
+		}
+		if i+1 < len(bounds) {
+			cuts[int((b+bounds[i+1])/2)] = true
+		}
+	}
+	stride := len(walData) / 120
+	if stride < 1 {
+		stride = 1
+	}
+	for c := 0; c <= len(walData); c += stride {
+		cuts[c] = true
+	}
+
+	caseRoot := t.TempDir()
+	caseID := 0
+	for cut := range cuts {
+		caseID++
+		s, rcv := openRecoveredAt(t, crashDir, activeLog, walData, cut, filepath.Join(caseRoot, fmt.Sprintf("g%d", caseID)))
+		wantR := 0
+		for _, b := range bounds[1:] {
+			if int64(cut) >= b {
+				wantR++
+			}
+		}
+		if got := int(s.Epoch().N); got != wantR {
+			t.Fatalf("cut %d: recovered epoch %d, want %d (prefix of the publish order)", cut, got, wantR)
+		}
+		if rcv.Replayed != wantR {
+			t.Fatalf("cut %d: recovery report %+v, want %d replayed", cut, rcv, wantR)
+		}
+		refP, refRec := refAt(wantR)
+		if err := diffStores(refP, refRec, s, artifacts[:2*wantR], agents); err != nil {
+			t.Fatalf("cut %d (epoch %d): %v", cut, wantR, err)
+		}
+		// A sampled subset also proves the recovered store (group commit
+		// enabled again) accepts new grouped ingest.
+		if caseID%9 == 0 {
+			if err := s.Update(func(rec *prov.Recorder) error {
+				rec.Snapshot("post-recovery")
+				return nil
+			}); err != nil {
+				t.Fatalf("cut %d: resume: %v", cut, err)
+			}
+			if got := int(s.Epoch().N); got != wantR+1 {
+				t.Fatalf("cut %d: resume published epoch %d, want %d", cut, got, wantR+1)
 			}
 		}
 		if err := s.Close(); err != nil {

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -30,58 +29,81 @@ const (
 	defaultCypherMaxRows = 1_000_000
 )
 
-// Server is the provd HTTP API over one Store.
+// Server is the provd HTTP API over a Registry of named stores (shards).
 //
-// Endpoints:
+// Endpoints (every store-scoped endpoint exists twice: the unprefixed
+// legacy spelling against the default store, and /stores/{name}/... against
+// the named store; an unknown or invalid name is a 404 with a JSON error):
 //
-//	POST /segment    PgSeg query                     (read)
-//	POST /summarize  PgSum over segment queries      (read)
-//	POST /query      Cypher-subset query             (read)
-//	POST /adjust     interactive adjust of a cached segment (read)
-//	POST /ingest     lifecycle mutation batch        (write)
-//	GET  /stats      graph + cache statistics        (read)
-//	GET  /metrics    service counters (epoch, cache, per-endpoint requests)
-//	GET  /healthz    liveness probe
-//	GET  /export     whole-graph export: ?format=prov-json | dot | pg
+//	POST [/stores/{name}]/segment    PgSeg query                     (read)
+//	POST [/stores/{name}]/summarize  PgSum over segment queries      (read)
+//	POST [/stores/{name}]/query      Cypher-subset query             (read)
+//	POST [/stores/{name}]/adjust     interactive adjust of a cached segment (read)
+//	POST [/stores/{name}]/ingest     lifecycle mutation batch        (write)
+//	GET  [/stores/{name}]/stats      graph + cache statistics        (read)
+//	GET  [/stores/{name}]/metrics    store counters (epoch, cache, requests)
+//	GET  [/stores/{name}]/healthz    liveness probe
+//	GET  [/stores/{name}]/export     whole-graph export: ?format=prov-json | dot | pg
+//	PUT  /stores/{name}              create the named store (idempotent)
+//	GET  /stores                     list stores
 //
-// All reads run lock-free against the store's current epoch snapshot; only
-// /ingest takes the write mutex.
+// All reads run lock-free against the routed store's current epoch
+// snapshot; only /ingest takes that store's write mutex — shards never
+// serialize behind each other.
 type Server struct {
-	store    *Store
-	mux      *http.ServeMux
-	requests map[string]*atomic.Uint64 // per-endpoint request counters
+	reg *Registry
+	mux *http.ServeMux
 }
 
-// NewServer builds the HTTP API over store.
+// NewServer builds the HTTP API over a single memory-resident store, which
+// becomes the default store of a one-entry registry.
 func NewServer(store *Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux(), requests: make(map[string]*atomic.Uint64)}
+	return NewMultiServer(NewMemRegistry(store, 0))
+}
+
+// NewMultiServer builds the HTTP API over a registry of named stores.
+func NewMultiServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
 	for _, ep := range []struct {
-		pattern, name string
-		h             http.HandlerFunc
+		method, path, name string
+		h                  func(*Store, http.ResponseWriter, *http.Request)
 	}{
-		{"POST /segment", "segment", s.handleSegment},
-		{"POST /summarize", "summarize", s.handleSummarize},
-		{"POST /query", "query", s.handleQuery},
-		{"POST /adjust", "adjust", s.handleAdjust},
-		{"POST /ingest", "ingest", s.handleIngest},
-		{"GET /stats", "stats", s.handleStats},
-		{"GET /metrics", "metrics", s.handleMetrics},
-		{"GET /healthz", "healthz", s.handleHealthz},
-		{"GET /export", "export", s.handleExport},
+		{"POST", "/segment", "segment", s.handleSegment},
+		{"POST", "/summarize", "summarize", s.handleSummarize},
+		{"POST", "/query", "query", s.handleQuery},
+		{"POST", "/adjust", "adjust", s.handleAdjust},
+		{"POST", "/ingest", "ingest", s.handleIngest},
+		{"GET", "/stats", "stats", s.handleStats},
+		{"GET", "/metrics", "metrics", s.handleMetrics},
+		{"GET", "/healthz", "healthz", s.handleHealthz},
+		{"GET", "/export", "export", s.handleExport},
 	} {
-		ctr := &atomic.Uint64{}
-		s.requests[ep.name] = ctr
-		h := ep.h
-		s.mux.HandleFunc(ep.pattern, func(w http.ResponseWriter, r *http.Request) {
-			ctr.Add(1)
-			h(w, r)
+		ep := ep
+		s.mux.HandleFunc(ep.method+" "+ep.path, func(w http.ResponseWriter, r *http.Request) {
+			st := s.reg.Default()
+			st.countRequest(ep.name)
+			ep.h(st, w, r)
+		})
+		s.mux.HandleFunc(ep.method+" /stores/{store}"+ep.path, func(w http.ResponseWriter, r *http.Request) {
+			st, err := s.reg.Get(r.PathValue("store"))
+			if err != nil {
+				writeErr(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			st.countRequest(ep.name)
+			ep.h(st, w, r)
 		})
 	}
+	s.mux.HandleFunc("PUT /stores/{store}", s.handleStoreCreate)
+	s.mux.HandleFunc("GET /stores", s.handleStoreList)
 	return s
 }
 
-// Store returns the store the server serves.
-func (s *Server) Store() *Store { return s.store }
+// Store returns the default store (the one the legacy endpoints serve).
+func (s *Server) Store() *Store { return s.reg.Default() }
+
+// Registry returns the registry the server routes over.
+func (s *Server) Registry() *Registry { return s.reg }
 
 // ServeHTTP dispatches to the endpoint handlers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -128,7 +150,7 @@ func queryErrCode(err error) int {
 
 // --- endpoint handlers ---
 
-func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSegment(st *Store, w http.ResponseWriter, r *http.Request) {
 	var req SegmentRequest
 	if !decode(w, r, &req) {
 		return
@@ -144,14 +166,14 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	seg, cached, err := s.store.Segment(q, opts, !req.NoCache)
+	seg, cached, err := st.Segment(q, opts, !req.NoCache)
 	if err != nil {
 		writeErr(w, queryErrCode(err), "segment: %v", err)
 		return
 	}
 	var resp *SegmentResponse
 	var dotErr error
-	s.store.View(func(p *prov.Graph) {
+	st.View(func(p *prov.Graph) {
 		if format == FormatDOT {
 			var b strings.Builder
 			dotErr = seg.WriteDOT(&b)
@@ -176,7 +198,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 // query is resolved through the segment cache, then the requested
 // AdjustExclude / AdjustExpand refinements derive the adjusted segment
 // without re-running the solver.
-func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdjust(st *Store, w http.ResponseWriter, r *http.Request) {
 	var req AdjustRequest
 	if !decode(w, r, &req) {
 		return
@@ -220,14 +242,14 @@ func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "adjust: needs exclude_rels, exclude_kinds or expansions")
 		return
 	}
-	seg, cached, err := s.store.Adjust(q, opts, excl, exps)
+	seg, cached, err := st.Adjust(q, opts, excl, exps)
 	if err != nil {
 		writeErr(w, queryErrCode(err), "adjust: %v", err)
 		return
 	}
 	var resp *SegmentResponse
 	var dotErr error
-	s.store.View(func(p *prov.Graph) {
+	st.View(func(p *prov.Graph) {
 		if format == FormatDOT {
 			var b strings.Builder
 			dotErr = seg.WriteDOT(&b)
@@ -248,7 +270,7 @@ func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSummarize(st *Store, w http.ResponseWriter, r *http.Request) {
 	var req SummarizeRequest
 	if !decode(w, r, &req) {
 		return
@@ -284,7 +306,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 			Agent:    req.AggAgent,
 		},
 	}
-	psg, err := s.store.Summarize(queries, core.Options{}, sumOpts)
+	psg, err := st.Summarize(queries, core.Options{}, sumOpts)
 	if err != nil {
 		writeErr(w, queryErrCode(err), "summarize: %v", err)
 		return
@@ -304,7 +326,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, encodePsg(psg))
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(st *Store, w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -325,17 +347,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		maxRows = req.MaxRows
 	}
 	opts := cypher.Options{Timeout: timeout, MaxRows: maxRows, MaxPathLen: req.MaxPathLen}
-	res, err := s.store.Cypher(req.Query, opts)
+	res, err := st.Cypher(req.Query, opts)
 	if err != nil {
 		writeErr(w, queryErrCode(err), "query: %v", err)
 		return
 	}
 	var resp *QueryResponse
-	s.store.View(func(p *prov.Graph) { resp = encodeResult(p, res) })
+	st.View(func(p *prov.Graph) { resp = encodeResult(p, res) })
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if !decode(w, r, &req) {
 		return
@@ -345,7 +367,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := IngestResponse{Results: make([]IngestResult, 0, len(req.Ops))}
-	err := s.store.Update(func(rec *prov.Recorder) error {
+	err := st.Update(func(rec *prov.Recorder) error {
 		// Validate the whole batch against the pre-batch graph first so the
 		// batch applies atomically: either every op commits or none does.
 		// Input ids must reference vertices that existed before the batch
@@ -432,43 +454,78 @@ func validateOp(p *prov.Graph, op IngestOp) error {
 	return nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+func (s *Server) handleStats(st *Store, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.Stats())
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	ep := s.store.Epoch()
+func (s *Server) handleMetrics(st *Store, w http.ResponseWriter, r *http.Request) {
+	ep := st.Epoch()
 	resp := MetricsResponse{
+		Store:        st.Name(),
 		Epoch:        ep.N,
 		Vertices:     ep.Vertices,
 		Edges:        ep.Edges,
-		UptimeMillis: s.store.Uptime().Milliseconds(),
-		Cache:        s.store.CacheStats(),
-		Freeze:       s.store.FreezeStatsSnapshot(),
-		WAL:          s.store.DurabilityStatsSnapshot(),
-		Requests:     make(map[string]uint64, len(s.requests)),
-	}
-	for name, ctr := range s.requests {
-		resp.Requests[name] = ctr.Load()
+		UptimeMillis: st.Uptime().Milliseconds(),
+		Cache:        st.CacheStats(),
+		Freeze:       st.FreezeStatsSnapshot(),
+		WAL:          st.DurabilityStatsSnapshot(),
+		Requests:     st.RequestCounts(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(st *Store, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+// handleStoreCreate serves PUT /stores/{name}: open (or return) the named
+// store. Creation is idempotent — a retried PUT reports created=false.
+func (s *Server) handleStoreCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("store")
+	if !ValidStoreName(name) {
+		writeErr(w, http.StatusBadRequest, "invalid store name %q (want 1-%d chars of [a-zA-Z0-9_-])", name, maxStoreName)
+		return
+	}
+	st, created, err := s.reg.Create(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "create store: %v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, StoreCreateResponse{Store: name, Created: created, Epoch: st.Epoch().N})
+}
+
+// handleStoreList serves GET /stores: every store with its headline state.
+func (s *Server) handleStoreList(w http.ResponseWriter, r *http.Request) {
+	stores := s.reg.List()
+	resp := StoreListResponse{Stores: make([]StoreInfo, 0, len(stores))}
+	for _, st := range stores {
+		ep := st.Epoch()
+		resp.Stores = append(resp.Stores, StoreInfo{
+			Name:     st.Name(),
+			Epoch:    ep.N,
+			Vertices: ep.Vertices,
+			Edges:    ep.Edges,
+			Durable:  st.Durable(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExport(st *Store, w http.ResponseWriter, r *http.Request) {
 	format := r.URL.Query().Get("format")
 	var contentType string
 	var export func(io.Writer) error
 	switch strings.ToLower(format) {
 	case "", "prov-json":
-		contentType, export = "application/json", s.store.ExportJSON
+		contentType, export = "application/json", st.ExportJSON
 	case "dot":
-		contentType, export = "text/vnd.graphviz", s.store.ExportDOT
+		contentType, export = "text/vnd.graphviz", st.ExportDOT
 	case "pg":
-		contentType, export = "application/octet-stream", s.store.Save
+		contentType, export = "application/octet-stream", st.Save
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown format %q (want prov-json, dot, pg)", format)
 		return

@@ -51,14 +51,27 @@ type Epoch struct {
 // that raced with an ingest simply observes the previous epoch, which is a
 // consistent point-in-time view.
 type Store struct {
-	// writeMu serializes ingest batches, snapshot publication and cache
-	// revalidation. Readers never take it.
+	// name is the store's registry name ("default" for the unprefixed
+	// legacy endpoints; empty for stores built directly via NewStore).
+	name string
+
+	// writeMu serializes ingest batches, delta encoding, snapshot builds
+	// and (without group commit) publication. Readers never take it.
 	writeMu sync.Mutex
 	rec     *prov.Recorder
 
 	snap atomic.Pointer[Epoch]
 
+	// tail is the newest staged epoch, guarded by writeMu. Without group
+	// commit it always equals the published snapshot; under group commit it
+	// runs ahead of snap by the batches sitting in the commit queue (built
+	// and logged-or-queued, not yet durable, therefore not yet visible).
+	tail *Epoch
+
 	cache *segCache
+
+	// requests counts HTTP requests routed to this store, per endpoint.
+	requests map[string]*atomic.Uint64
 
 	// Freeze instrumentation: how commits build their snapshots (the
 	// incremental CSR extension vs the full rebuild fallback) and what the
@@ -73,7 +86,7 @@ type Store struct {
 	// commit appends its delta to the write-ahead log before the epoch
 	// pointer swap publishes it; a background checkpointer bounds the log.
 	wal             *wal.Manager
-	walErr          error // sticky append failure: the store refuses writes (under writeMu)
+	walFail         atomic.Pointer[walFailure] // sticky append failure: the store refuses writes
 	checkpointEvery int
 	sinceCkpt       atomic.Int64
 	ckptCh          chan struct{}
@@ -82,7 +95,53 @@ type Store struct {
 	ckptFails       atomic.Uint64
 	closeOnce       sync.Once
 
+	// Group commit (durable stores with GroupCommit enabled): writers stage
+	// built epochs into commitCh and block on their request's done channel;
+	// the committer goroutine drains the queue, appends the whole group with
+	// one fsync, then publishes the member epochs in order.
+	groupCommit bool
+	commitCh    chan *commitReq
+	commitStop  chan struct{}
+	commitDone  chan struct{}
+	// pubCh wakes a drain waiter (checkpointNow under writeMu) after each
+	// publish; buffered so the committer never blocks on it.
+	pubCh chan struct{}
+	// resolved is the newest epoch the committer has finished with — either
+	// published (durable and visible) or failed (its writer got an error, so
+	// nothing was acknowledged). checkpointNow may only rotate the log once
+	// resolved catches the staged tail: before that, the committer may still
+	// be appending records a rotation-plus-cleanup would delete.
+	resolved atomic.Uint64
+	// commitHold, when non-nil (tests only), stalls the committer between
+	// receiving a group's first request and draining the rest of the queue,
+	// making multi-writer groups deterministic.
+	commitHold chan struct{}
+
+	groups       atomic.Uint64 // committed groups
+	groupRecords atomic.Uint64 // records committed through groups
+	groupLast    atomic.Int64  // size of the most recent group
+	groupMax     atomic.Int64  // largest group so far
+
 	started time.Time
+}
+
+// walFailure is the sticky first write-ahead-log error; once set, the
+// in-memory graph and the log can no longer be reconciled and the store
+// refuses writes.
+type walFailure struct{ err error }
+
+// commitReq is one staged batch traveling from Update to the committer:
+// the built (unpublished) epoch, its predecessor, and the encoded delta.
+type commitReq struct {
+	ep, old *Epoch
+	payload []byte
+	done    chan error
+}
+
+// endpointNames are the per-store request counters surfaced in /metrics.
+var endpointNames = []string{
+	"segment", "summarize", "query", "adjust", "ingest",
+	"stats", "metrics", "healthz", "export",
 }
 
 // observeFreeze records one snapshot build on the commit path.
@@ -136,15 +195,41 @@ func NewStore(p *prov.Graph, cacheCap int) *Store {
 // resumes a pre-crash epoch sequence).
 func newStore(p *prov.Graph, rec *prov.Recorder, cacheCap int, epoch uint64) *Store {
 	s := &Store{
-		rec:     rec,
-		cache:   newSegCache(cacheCap),
-		started: time.Now(),
+		rec:      rec,
+		cache:    newSegCache(cacheCap),
+		requests: make(map[string]*atomic.Uint64, len(endpointNames)),
+		started:  time.Now(),
+	}
+	for _, name := range endpointNames {
+		s.requests[name] = &atomic.Uint64{}
 	}
 	start := time.Now()
 	fz := p.Freeze()
 	s.observeFreeze(false, time.Since(start))
-	s.snap.Store(&Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()})
+	ep := &Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+	s.snap.Store(ep)
+	s.tail = ep
 	return s
+}
+
+// Name returns the store's registry name ("" for bare NewStore stores).
+func (s *Store) Name() string { return s.name }
+
+// countRequest bumps the store's per-endpoint request counter. Unknown
+// endpoint names are ignored (the set is fixed at construction).
+func (s *Store) countRequest(endpoint string) {
+	if ctr, ok := s.requests[endpoint]; ok {
+		ctr.Add(1)
+	}
+}
+
+// RequestCounts snapshots the per-endpoint request counters.
+func (s *Store) RequestCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(s.requests))
+	for name, ctr := range s.requests {
+		out[name] = ctr.Load()
+	}
+	return out
 }
 
 // Epoch returns the current snapshot. The result is immutable and safe to
@@ -166,39 +251,89 @@ func (s *Store) View(fn func(p *prov.Graph)) {
 // the total graph size; a full rebuild happens only when the previous
 // epoch is unusable as a base (see graph.ExtendFrozen).
 // On durable stores the committed batch is additionally encoded as a graph
-// delta and appended to the write-ahead log — fsynced per the configured
+// delta and made durable in the write-ahead log — fsynced per the configured
 // policy — strictly before the snapshot swap publishes the epoch, so no
-// client ever observes a state a crash could lose (under fsync=always). A
-// WAL append failure poisons the store: the batch stays unpublished and all
-// further writes are refused, because the in-memory graph and the log can
-// no longer be reconciled.
+// client ever observes a state a crash could lose (under fsync=always).
+// With group commit (the default, see DurableOptions.NoGroupCommit) the
+// durability step is delegated: Update stages the encoded delta and the
+// built snapshot on the commit queue, releases the write mutex, and blocks
+// until the committer goroutine has appended its whole group under one
+// fsync and published the member epochs in order — concurrent writers share
+// the fsync instead of paying one each, and the write mutex is free for the
+// next writer while this batch waits on disk. A WAL append failure poisons
+// the store: the batch stays unpublished and all further writes are
+// refused, because the in-memory graph and the log can no longer be
+// reconciled.
 func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if s.walErr != nil {
-		return fmt.Errorf("store: writes disabled after write-ahead log failure: %w", s.walErr)
+	// Deferred so a panic in fn (or in delta encoding / the freeze) releases
+	// the write mutex instead of wedging the store; the group-commit path
+	// clears the flag when it hands off and unlocks early.
+	locked := true
+	defer func() {
+		if locked {
+			s.writeMu.Unlock()
+		}
+	}()
+	if f := s.walFail.Load(); f != nil {
+		return fmt.Errorf("store: writes disabled after write-ahead log failure: %w", f.err)
 	}
 	if err := fn(s.rec); err != nil {
 		return err
 	}
-	old := s.snap.Load()
+	// The delta and the snapshot both build against the staged tail, not the
+	// published snapshot: under group commit earlier batches may still be
+	// waiting on their group fsync, and this batch extends them.
+	old := s.tail
+	var payload []byte
 	if s.wal != nil {
 		var buf bytes.Buffer
-		err := s.rec.P.PG().EncodeDelta(&buf, old.P.PG().Dict().Len(), old.Vertices, old.Edges)
-		if err == nil {
-			err = s.wal.Append(old.N+1, buf.Bytes())
-		}
-		if err != nil {
-			s.walErr = err
+		if err := s.rec.P.PG().EncodeDelta(&buf, old.P.PG().Dict().Len(), old.Vertices, old.Edges); err != nil {
+			// The graph mutated but nothing can be logged: unreconcilable.
+			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
 			return fmt.Errorf("store: write-ahead log: %w", err)
 		}
+		payload = buf.Bytes()
 	}
 	start := time.Now()
 	fz, incremental := s.rec.P.ExtendFrozen(old.P)
 	s.observeFreeze(incremental, time.Since(start))
 	ep := &Epoch{N: old.N + 1, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+
+	if s.wal != nil && s.groupCommit {
+		// Group commit: stage the built epoch (still holding writeMu, so the
+		// queue receives epochs in order) and wait off-lock for the committer
+		// to make it durable and publish it.
+		req := &commitReq{ep: ep, old: old, payload: payload, done: make(chan error, 1)}
+		s.tail = ep
+		s.commitCh <- req
+		locked = false
+		s.writeMu.Unlock()
+		return <-req.done
+	}
+
+	if s.wal != nil {
+		// Inline commit: append + fsync (per policy) this batch alone, before
+		// the swap publishes it.
+		if err := s.wal.Append(ep.N, payload); err != nil {
+			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
+			return fmt.Errorf("store: write-ahead log: %w", err)
+		}
+	}
+	s.tail = ep
+	s.publish(ep, old)
+	return nil
+}
+
+// publish makes a durable (or memory-only) epoch visible: the cache is
+// revalidated against the delta, the snapshot pointer swaps, a drain waiter
+// is woken, and the checkpointer is signaled per the cadence. Callers
+// guarantee epochs are published in order — either under writeMu (inline
+// paths) or from the single committer goroutine.
+func (s *Store) publish(ep, old *Epoch) {
 	s.cache.advance(ep, old)
 	s.snap.Store(ep)
+	s.signalPub()
 	if s.wal != nil {
 		if n := s.sinceCkpt.Add(1); s.checkpointEvery > 0 && n >= int64(s.checkpointEvery) {
 			select {
@@ -207,7 +342,104 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 			}
 		}
 	}
-	return nil
+}
+
+// signalPub drops a (non-blocking, buffered) wake token for a drain waiter.
+func (s *Store) signalPub() {
+	if s.pubCh != nil {
+		select {
+		case s.pubCh <- struct{}{}:
+		default: // a wake token is already pending
+		}
+	}
+}
+
+// commitLoop is the group committer: it owns the order in which staged
+// batches reach the log and the epoch pointer. One iteration commits one
+// group — everything queued at wake-up time — with a single fsync.
+func (s *Store) commitLoop() {
+	defer close(s.commitDone)
+	for {
+		select {
+		case req := <-s.commitCh:
+			s.commitGroup(req)
+		case <-s.commitStop:
+			// Drain whatever is still queued (Close never races Update, so
+			// nothing new can arrive), then exit.
+			for {
+				select {
+				case req := <-s.commitCh:
+					s.commitGroup(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commitGroup gathers the group led by first, appends it with one fsync and
+// publishes the members in order. On an append failure every member fails,
+// stays unpublished, and the store is poisoned.
+func (s *Store) commitGroup(first *commitReq) {
+	group := []*commitReq{first}
+	if s.commitHold != nil {
+		<-s.commitHold
+	}
+drain:
+	for {
+		select {
+		case req := <-s.commitCh:
+			group = append(group, req)
+		default:
+			break drain
+		}
+	}
+	if f := s.walFail.Load(); f != nil {
+		s.failGroup(group, f.err)
+		return
+	}
+	recs := make([]wal.Record, len(group))
+	for i, req := range group {
+		recs[i] = wal.Record{Epoch: req.ep.N, Payload: req.payload}
+	}
+	if err := s.wal.AppendBatch(recs); err != nil {
+		s.walFail.CompareAndSwap(nil, &walFailure{err: err})
+		s.failGroup(group, err)
+		return
+	}
+	s.groups.Add(1)
+	s.groupRecords.Add(uint64(len(group)))
+	s.groupLast.Store(int64(len(group)))
+	for {
+		max := s.groupMax.Load()
+		if int64(len(group)) <= max || s.groupMax.CompareAndSwap(max, int64(len(group))) {
+			break
+		}
+	}
+	for _, req := range group {
+		s.publish(req.ep, req.old)
+		// Resolved moves only after the publish is visible, so a drain
+		// waiter that observes resolved >= tail also observes snap at (or
+		// past) every acknowledged epoch; the extra signal wakes it to
+		// re-check after the store.
+		s.resolved.Store(req.ep.N)
+		s.signalPub()
+		req.done <- nil
+	}
+}
+
+// failGroup rejects every member of a group: their writers get errors, the
+// epochs never become visible, and they count as resolved — a drain waiter
+// must not wait on publishes that will never come (and need not: nothing
+// about them was acknowledged, so a rotation that strands their records
+// loses nothing).
+func (s *Store) failGroup(group []*commitReq, err error) {
+	for _, req := range group {
+		s.resolved.Store(req.ep.N)
+		req.done <- fmt.Errorf("store: write-ahead log: %w", err)
+	}
+	s.signalPub()
 }
 
 // Segment evaluates a PgSeg query against the current snapshot, serving

@@ -341,6 +341,20 @@ func (m *Manager) Append(epoch uint64, payload []byte) error {
 	return lg.Append(epoch, payload, m.policy == SyncAlways)
 }
 
+// AppendBatch logs a group of delta records with one write and (under
+// SyncAlways) one fsync — the group-commit path. Records must carry
+// consecutive epochs in slice order. Callers serialize AppendBatch with
+// Append and Rotate exactly as they do Append.
+func (m *Manager) AppendBatch(recs []Record) error {
+	m.mu.Lock()
+	lg := m.log
+	m.mu.Unlock()
+	if lg == nil {
+		return errors.New("wal: append before Bootstrap")
+	}
+	return lg.AppendBatch(recs, m.policy == SyncAlways)
+}
+
 // Rotate seals the active log and directs subsequent appends to a fresh
 // wal-<epoch>.log. The caller must hold its write mutex so no append lands
 // between choosing epoch and the swap, and must follow up with Checkpoint

@@ -40,6 +40,15 @@
 // snapshot; ingest publishes a new snapshot per committed batch. Stores are
 // independent shards: ingest into one never blocks, fsyncs with, or
 // invalidates caches of another.
+//
+// Observability: every response carries an X-Request-ID (the client's, if
+// acceptable, else generated) that also appears in the structured request
+// and commit logs (-log-level debug shows per-request/per-commit lines;
+// -log-json switches the log stream to JSON). GET /metrics serves JSON by
+// default and Prometheus text exposition with ?format=prometheus. Requests
+// at or over -slow-ms land in a bounded ring dumped at GET /debug/slow with
+// their request id, query shape and commit-stage breakdown. -debug-addr
+// serves net/http/pprof on a separate listener (opt-in; keep it private).
 package main
 
 import (
@@ -48,8 +57,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,9 +87,18 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background flush period with -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints per store (bounds log growth and restart replay)")
 	groupCommit := flag.Bool("group-commit", true, "amortize WAL fsyncs across concurrent ingest batches (one fsync per commit group instead of per batch)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug (per-request and per-commit lines), info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value text")
+	slowMillis := flag.Int64("slow-ms", 500, "slow-query threshold in milliseconds (requests at or over it enter GET /debug/slow; 0 captures everything, negative disables)")
+	debugAddr := flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty disables; bind it to a private interface)")
 	flag.Parse()
 
-	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit)
+	logger, err := buildLogger(*logLevel, *logJSON)
+	if err != nil {
+		log.Fatalf("provd: %v", err)
+	}
+
+	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit, logger)
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
@@ -89,9 +109,18 @@ func main() {
 		len(reg.Names()), st.Vertices, st.Edges, st.Epoch, *addr, *cacheCap)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.NewMultiServer(reg),
+		Addr: *addr,
+		Handler: server.NewMultiServerWith(reg, server.Options{
+			SlowThreshold: slowThreshold(*slowMillis),
+			Logger:        logger,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		if err := startDebugServer(*debugAddr); err != nil {
+			log.Fatalf("provd: %v", err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -125,9 +154,70 @@ func main() {
 	}
 }
 
+// buildLogger constructs the structured logger the request and commit logs
+// write to (stderr, next to the startup log.Printf lines).
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+// slowThreshold maps the -slow-ms flag to the server option: 0 means
+// "capture everything" (the smallest positive threshold), negative disables
+// (the option's negative spelling).
+func slowThreshold(ms int64) time.Duration {
+	switch {
+	case ms < 0:
+		return -1
+	case ms == 0:
+		return time.Nanosecond
+	default:
+		return time.Duration(ms) * time.Millisecond
+	}
+}
+
+// startDebugServer serves net/http/pprof on its own listener and mux —
+// never on the API mux, so profiling endpoints are only reachable where the
+// operator pointed -debug-addr.
+func startDebugServer(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	log.Printf("provd: pprof debug server on %s", ln.Addr())
+	go func() {
+		dbg := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := dbg.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("provd: debug server: %v", err)
+		}
+	}()
+	return nil
+}
+
 // openRegistry builds the memory-only or durable store registry per the
 // flags.
-func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int, groupCommit bool) (*server.Registry, error) {
+func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int, groupCommit bool, logger *slog.Logger) (*server.Registry, error) {
 	var extra []string
 	for _, name := range strings.Split(stores, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -139,6 +229,7 @@ func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int
 		CheckpointEvery: checkpointEvery,
 		CacheCap:        cacheCap,
 		NoGroupCommit:   !groupCommit,
+		Logger:          logger,
 	}
 	if dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(fsync)

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -270,4 +271,168 @@ func TestProvdRefusesSeedOverState(t *testing.T) {
 	if !strings.Contains(string(out), "already holds state") {
 		t.Fatalf("unexpected failure mode: %v\n%s", err, out)
 	}
+}
+
+// TestProvdObservability boots the daemon with the observability surfaces
+// wide open (-slow-ms 0 captures everything, -log-level debug, -log-json)
+// and drives the full acceptance path: X-Request-ID echo, the id appearing
+// in the structured logs, the slow-query ring, and a /metrics scrape in
+// Prometheus text format validated line by line. CI runs this test as its
+// scrape check.
+func TestProvdObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon; skipped in -short")
+	}
+	bin := buildProvd(t)
+	p := startProvd(t, bin,
+		"-data", t.TempDir(),
+		"-slow-ms", "0",
+		"-log-level", "debug",
+		"-log-json",
+	)
+
+	// Ingest with a client-supplied request id; the response must echo it.
+	const reqID = "e2e-observability-1"
+	body, _ := json.Marshal(server.IngestRequest{Ops: []server.IngestOp{
+		{Op: "import", Agent: "op", Artifact: "file-0", URL: "http://x"},
+	}})
+	req, err := http.NewRequest(http.MethodPost, p.base+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Fatalf("request id echoed as %q, want %q", got, reqID)
+	}
+
+	// The id must surface in the structured request and commit logs.
+	logDeadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(p.logText(), reqID) {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("request id %q never appeared in logs:\n%s", reqID, p.logText())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	logged := p.logText()
+	if !strings.Contains(logged, `"msg":"request"`) {
+		t.Errorf("no JSON request log line:\n%s", logged)
+	}
+	if !strings.Contains(logged, `"msg":"commit published"`) {
+		t.Errorf("no JSON commit log line:\n%s", logged)
+	}
+
+	// -slow-ms 0: the ingest must be in the slow ring, with its id and the
+	// commit-stage breakdown.
+	var slow server.SlowResponse
+	slowDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := httpJSON(t, http.MethodGet, p.base+"/debug/slow", nil, &slow); code != http.StatusOK {
+			t.Fatalf("/debug/slow status %d", code)
+		}
+		found := false
+		for _, e := range slow.Entries {
+			if e.RequestID == reqID {
+				found = true
+				if e.Endpoint != "ingest" || e.Stages == nil || e.Stages.PublishNanos <= 0 {
+					t.Fatalf("slow entry incomplete: %+v", e)
+				}
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(slowDeadline) {
+			t.Fatalf("ingest never reached /debug/slow: %+v", slow)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The Prometheus scrape must be valid text exposition carrying the
+	// request and commit-stage series.
+	scrape, err := http.Get(p.base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(scrape.Body)
+	scrape.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrape.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", scrape.StatusCode)
+	}
+	if ct := scrape.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("scrape Content-Type %q", ct)
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("scrape is not valid exposition: %v", err)
+	}
+	for _, want := range []string{
+		"provd_epoch",
+		"provd_requests_total",
+		"provd_request_latency_seconds_bucket",
+		"provd_request_latency_quantile_seconds",
+		"provd_commit_stage_latency_seconds_bucket",
+		"provd_group_commit_queue_wait_seconds_total",
+		"provd_slow_queries_total",
+	} {
+		if samples[want] == 0 {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	p.stop(t)
+}
+
+// TestProvdDebugAddr boots with -debug-addr and requires the pprof index on
+// the debug listener while the API listener stays pprof-free.
+func TestProvdDebugAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon; skipped in -short")
+	}
+	bin := buildProvd(t)
+	p := startProvd(t, bin, "-debug-addr", "127.0.0.1:0")
+
+	// The debug listener's resolved address is in the startup log.
+	var dbgAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for dbgAddr == "" {
+		for _, line := range strings.Split(p.logText(), "\n") {
+			if i := strings.Index(line, "pprof debug server on "); i >= 0 {
+				dbgAddr = strings.TrimSpace(line[i+len("pprof debug server on "):])
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debug server never announced; logs:\n%s", p.logText())
+		}
+	}
+	resp, err := http.Get("http://" + dbgAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	// The API mux must not expose pprof.
+	apiResp, err := http.Get(p.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, apiResp.Body)
+	apiResp.Body.Close()
+	if apiResp.StatusCode == http.StatusOK {
+		t.Fatal("API listener serves pprof; it must only live on -debug-addr")
+	}
+	p.stop(t)
 }

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4). The writer produces
+// `# HELP` / `# TYPE` headers once per metric family and label-escaped
+// sample lines; histograms are rendered in the conventional cumulative
+// `_bucket{le=...}` / `_sum` / `_count` triplet with bounds converted to
+// seconds. ParseExposition is the matching tiny validator used by the
+// golden tests and the CI e2e check.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample line.
+type Label struct {
+	Name, Value string
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// MetricWriter accumulates exposition text. Errors are sticky: the first
+// write failure is kept and later calls no-op, so call sites stay linear.
+type MetricWriter struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// Header emits the HELP/TYPE preamble for a metric family once; repeated
+// calls for the same family (e.g. the same metric across stores) no-op.
+func (m *MetricWriter) Header(name, help, typ string) {
+	if m.seen[name] {
+		return
+	}
+	m.seen[name] = true
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sample emits one sample line.
+func (m *MetricWriter) Sample(name string, labels []Label, value float64) {
+	m.printf("%s%s %s\n", name, formatLabels(labels), strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// Histogram emits the snapshot as a conventional cumulative histogram in
+// seconds: one `_bucket` line per bound plus `+Inf`, then `_sum` and
+// `_count`. The caller must have emitted Header(name, ..., "histogram").
+func (m *MetricWriter) Histogram(name string, labels []Label, snap HistogramSnapshot) {
+	withLE := make([]Label, len(labels), len(labels)+1)
+	copy(withLE, labels)
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += snap.Counts[i]
+		le := strconv.FormatFloat(float64(BucketUpperNs(i))/1e9, 'g', -1, 64)
+		m.Sample(name+"_bucket", append(withLE, Label{"le", le}), float64(cum))
+	}
+	cum += snap.Counts[NumBuckets]
+	m.Sample(name+"_bucket", append(withLE, Label{"le", "+Inf"}), float64(cum))
+	m.Sample(name+"_sum", labels, float64(snap.SumNanos)/1e9)
+	m.Sample(name+"_count", labels, float64(snap.Count))
+}
+
+// ParseExposition validates Prometheus text-format input line by line and
+// returns the number of samples seen per metric name (the full sample name,
+// so histogram series appear as name_bucket / name_sum / name_count). It
+// rejects malformed comment lines, metric names, label syntax, and values
+// that do not parse as floats — the contract the golden test and the CI
+// scrape check enforce.
+func ParseExposition(r io.Reader) (map[string]int, error) {
+	samples := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, err := validateSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validateComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) >= 2 && fields[1] != "HELP" && fields[1] != "TYPE" {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !validMetricName(fields[2]) {
+		return fmt.Errorf("malformed %s comment: %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE comment missing type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// validateSample checks one sample line and returns its metric name.
+func validateSample(line string) (string, error) {
+	rest := line
+	// Metric name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return "", fmt.Errorf("sample with no value: %q", line)
+	}
+	name := rest[:end]
+	if !validMetricName(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		past, err := scanLabels(rest)
+		if err != nil {
+			return "", fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[past:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Value, optionally followed by a timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		return "", fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// scanLabels validates a {name="value",...} block starting at s[0]=='{' and
+// returns the index just past the closing '}'.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		// Label name.
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) || !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("bad label name %q", s[start:min(i, len(s))])
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++ // skip the escaped byte
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing '"'
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		return 0, fmt.Errorf("expected ',' or '}' after label value")
+	}
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

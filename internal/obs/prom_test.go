@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricWriterOutputParses(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Header("provd_epoch", "Current epoch.", "gauge")
+	m.Sample("provd_epoch", []Label{{"store", "default"}}, 42)
+	m.Sample("provd_epoch", []Label{{"store", "audit"}}, 7)
+	m.Header("provd_requests_total", "Completed requests.", "counter")
+	m.Sample("provd_requests_total", []Label{{"store", "default"}, {"endpoint", "ingest"}, {"class", "2xx"}}, 12)
+
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.Observe(90 * time.Millisecond)
+	m.Header("provd_request_latency_seconds", "Latency.", "histogram")
+	m.Histogram("provd_request_latency_seconds", []Label{{"store", "default"}}, h.Snapshot())
+	if err := m.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+
+	samples, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, b.String())
+	}
+	if samples["provd_epoch"] != 2 {
+		t.Errorf("provd_epoch samples = %d, want 2", samples["provd_epoch"])
+	}
+	if samples["provd_request_latency_seconds_bucket"] != NumBuckets+1 {
+		t.Errorf("bucket lines = %d, want %d", samples["provd_request_latency_seconds_bucket"], NumBuckets+1)
+	}
+	if samples["provd_request_latency_seconds_sum"] != 1 || samples["provd_request_latency_seconds_count"] != 1 {
+		t.Errorf("sum/count lines: %v", samples)
+	}
+}
+
+func TestMetricWriterHeaderDedup(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Header("provd_epoch", "Current epoch.", "gauge")
+	m.Header("provd_epoch", "Current epoch.", "gauge")
+	if got := strings.Count(b.String(), "# TYPE provd_epoch"); got != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", got, b.String())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(3 * time.Microsecond)
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Histogram("lat", nil, h.Snapshot())
+
+	var prev float64 = -1
+	var infSeen bool
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_bucket") {
+			continue
+		}
+		var v float64
+		fields := strings.Fields(line)
+		if _, err := parseFloatField(fields[len(fields)-1], &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %v", line, prev)
+		}
+		prev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 3 {
+				t.Fatalf("+Inf bucket = %v, want 3", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func parseFloatField(s string, v *float64) (float64, error) {
+	f, err := parsePromValue(s)
+	*v = f
+	return f, err
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Sample("x", []Label{{"v", "a\"b\\c\nd"}}, 1)
+	out := b.String()
+	if !strings.Contains(out, `v="a\"b\\c\nd"`) {
+		t.Fatalf("escaping wrong: %q", out)
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped output does not parse: %v", err)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"1bad_name 3\n",          // name starts with a digit
+		"x{le=\"0.1} 3\n",        // unterminated label value
+		"x{le=0.1} 3\n",          // unquoted label value
+		"x notanumber\n",         // bad value
+		"x 1 notatimestamp\n",    // bad timestamp
+		"# TYPE x notatype\n",    // unknown type
+		"# TYPE x\n",             // missing type
+		"x{=\"v\"} 1\n",          // empty label name
+		"x{a=\"v\" b=\"w\"} 1\n", // missing comma
+		"x\n",                    // no value at all
+		"x{a=\"v\"} 1 2 3\n",     // trailing garbage
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+	good := "# some free comment\nx{a=\"v\"} 1 1712000000\nnan_ok NaN\ninf_ok +Inf\n"
+	if _, err := ParseExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("ParseExposition rejected valid input: %v", err)
+	}
+}

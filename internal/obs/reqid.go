@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Request-id propagation. The HTTP layer accepts a client-supplied
+// X-Request-ID (or generates one), stores it in the request context, echoes
+// it in the response, and attaches it to structured logs and slow-query
+// entries. The write path carries the context through Store.UpdateCtx into
+// the group committer, so a commit can be attributed to the ingest request
+// that staged it.
+
+type ctxKey int
+
+const (
+	reqIDKey ctxKey = iota
+	stagesKey
+)
+
+// reqIDFallback seeds distinct ids if crypto/rand ever fails (it effectively
+// cannot on the supported platforms, but a request id must never be empty).
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-digit request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqIDFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied id is acceptable to echo
+// and log: non-empty, at most 128 bytes, printable ASCII with no spaces,
+// quotes or backslashes (so it can never break a log line or a Prometheus
+// label).
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns a context carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey, id)
+}
+
+// RequestID returns the context's request id, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// Stages collects the per-stage timing breakdown of one write request as it
+// flows through the commit pipeline: delta encoding and snapshot freeze
+// (under the write mutex), commit-queue wait (staged until the group
+// committer picks it up), WAL append write, group fsync, and publication
+// (cache revalidation + epoch pointer swap). All fields are nanoseconds.
+//
+// The struct is written by the store/committer and read by the HTTP layer
+// only after the write call returns; the commit path's done-channel
+// handshake orders those accesses, so plain fields suffice.
+type Stages struct {
+	EncodeNanos    int64 `json:"encode_ns"`
+	FreezeNanos    int64 `json:"freeze_ns"`
+	QueueWaitNanos int64 `json:"queue_wait_ns"`
+	AppendNanos    int64 `json:"append_ns"`
+	FsyncNanos     int64 `json:"fsync_ns"`
+	PublishNanos   int64 `json:"publish_ns"`
+}
+
+// WithStages returns a context carrying a fresh Stages record, plus the
+// record itself for the caller to read back after the request completes.
+func WithStages(ctx context.Context) (context.Context, *Stages) {
+	st := &Stages{}
+	return context.WithValue(ctx, stagesKey, st), st
+}
+
+// StagesFrom returns the context's Stages record, or nil.
+func StagesFrom(ctx context.Context) *Stages {
+	st, _ := ctx.Value(stagesKey).(*Stages)
+	return st
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one request that exceeded the slow threshold, as dumped by
+// GET /debug/slow.
+type SlowEntry struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id"`
+	Store     string    `json:"store"`
+	Endpoint  string    `json:"endpoint"`
+	// Shape is the request's coarse shape (method + route), enough to find
+	// the offending query class without logging request bodies.
+	Shape         string `json:"shape,omitempty"`
+	Status        int    `json:"status"`
+	DurationNanos int64  `json:"duration_ns"`
+	// Stages is the commit-pipeline breakdown for write requests (nil for
+	// reads).
+	Stages *Stages `json:"stages,omitempty"`
+}
+
+// SlowRing is a bounded in-memory ring of the most recent slow requests.
+// Adds take a short mutex — the ring is only touched by requests already
+// slower than the threshold, never on the fast path — and evict the oldest
+// entry once full. Total counts every add, including evicted ones.
+type SlowRing struct {
+	mu    sync.Mutex
+	buf   []SlowEntry
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewSlowRing builds a ring holding the last capacity entries (<=0 selects
+// 128).
+func NewSlowRing(capacity int) *SlowRing {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowRing{buf: make([]SlowEntry, capacity)}
+}
+
+// Add appends an entry, evicting the oldest when the ring is full.
+func (r *SlowRing) Add(e SlowEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+}
+
+// Snapshot returns the resident entries, newest first.
+func (r *SlowRing) Snapshot() []SlowEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Total returns the number of entries ever added (including evicted ones).
+func (r *SlowRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSlowRingOrdering(t *testing.T) {
+	r := NewSlowRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring has %d entries", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		r.Add(SlowEntry{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	// Newest first.
+	for i, want := range []string{"r2", "r1", "r0"} {
+		if got[i].RequestID != want {
+			t.Errorf("entry %d = %q, want %q", i, got[i].RequestID, want)
+		}
+	}
+}
+
+func TestSlowRingEviction(t *testing.T) {
+	r := NewSlowRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(SlowEntry{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want capacity 4", len(got))
+	}
+	// Only the 4 newest survive, newest first.
+	for i, want := range []string{"r9", "r8", "r7", "r6"} {
+		if got[i].RequestID != want {
+			t.Errorf("entry %d = %q, want %q", i, got[i].RequestID, want)
+		}
+	}
+}
+
+func TestSlowRingDefaultCapacity(t *testing.T) {
+	r := NewSlowRing(0)
+	for i := 0; i < 200; i++ {
+		r.Add(SlowEntry{})
+	}
+	if got := len(r.Snapshot()); got != 128 {
+		t.Fatalf("default capacity holds %d, want 128", got)
+	}
+}
+
+func TestRequestIDValidation(t *testing.T) {
+	for _, ok := range []string{"abc", "a-b_c.d:e/f", "0123456789abcdef"} {
+		if !ValidRequestID(ok) {
+			t.Errorf("ValidRequestID(%q) = false", ok)
+		}
+	}
+	long := make([]byte, 129)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "quo\"te", "back\\slash", "new\nline", "\x01ctl", string(long)} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true", bad)
+		}
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two generated ids collide: %q", a)
+	}
+	if len(a) != 16 || !ValidRequestID(a) {
+		t.Fatalf("generated id %q not 16 hex digits / valid", a)
+	}
+}

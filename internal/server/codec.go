@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cypher"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prov"
 )
 
@@ -133,6 +134,21 @@ type MetricsResponse struct {
 	Freeze       FreezeStats       `json:"freeze"`
 	WAL          *DurabilityStats  `json:"wal,omitempty"`
 	Requests     map[string]uint64 `json:"requests"`
+	// Endpoints breaks each endpoint's traffic down by status class with a
+	// latency summary (p50/p90/p99/max) from the per-endpoint histogram.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Stages summarizes the write pipeline per commit stage
+	// (enqueue = group-commit queue wait, append = WAL write, fsync,
+	// publish); empty until the store has committed through a stage.
+	Stages map[string]obs.LatencySummary `json:"stages"`
+}
+
+// SlowResponse is the GET /debug/slow payload: the bounded in-memory ring
+// of requests that ran at or over the slow threshold, newest first.
+type SlowResponse struct {
+	ThresholdMillis int64           `json:"threshold_ms"`
+	Total           uint64          `json:"total"`
+	Entries         []obs.SlowEntry `json:"entries"`
 }
 
 // SegmentSpec identifies one input segment of a summarization request.

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -72,6 +73,8 @@ type RegistryOptions struct {
 	NoGroupCommit   bool
 	// CacheCap bounds each store's segment cache (entries).
 	CacheCap int
+	// Logger, when non-nil, receives each store's per-commit Debug lines.
+	Logger *slog.Logger
 }
 
 // StoreRecovery pairs a recovered store name with what its startup found.
@@ -213,6 +216,7 @@ func (r *Registry) open(name string, seed func() (*prov.Graph, error)) (*Store, 
 		}
 		s := NewStore(p, r.opts.CacheCap)
 		s.name = name
+		s.logger = r.opts.Logger
 		return s, &wal.Recovery{Fresh: true}, nil
 	}
 	s, rcv, err := OpenDurable(DurableOptions{
@@ -222,6 +226,7 @@ func (r *Registry) open(name string, seed func() (*prov.Graph, error)) (*Store, 
 		CheckpointEvery: r.opts.CheckpointEvery,
 		CacheCap:        r.opts.CacheCap,
 		NoGroupCommit:   r.opts.NoGroupCommit,
+		Logger:          r.opts.Logger,
 	}, seed)
 	if err != nil {
 		return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cypher"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prov"
 )
 
@@ -50,10 +52,45 @@ const (
 // All reads run lock-free against the routed store's current epoch
 // snapshot; only /ingest takes that store's write mutex — shards never
 // serialize behind each other.
+//
+// Observability (see internal/obs): every store-scoped request is assigned
+// a request id (the client's X-Request-ID if acceptable, else generated)
+// that is echoed in the response, propagated via context through the write
+// path into the group committer, and attached to the structured request
+// log; per-endpoint status-class counters and latency histograms are
+// recorded per store; requests at or over the slow threshold land in a
+// bounded ring dumped at GET /debug/slow; and GET /metrics serves either
+// the JSON panel (default) or Prometheus text exposition
+// (?format=prometheus, or an Accept header naming text/plain /
+// openmetrics).
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
+
+	// logger receives one structured line per request (Debug level for
+	// successes, Warn for 4xx/slow, Error for 5xx); nil disables.
+	logger *slog.Logger
+	// slow collects requests at or over slowThresh; slowThresh <= 0
+	// disables capture.
+	slow       *obs.SlowRing
+	slowThresh time.Duration
 }
+
+// Options configures the server's observability surfaces.
+type Options struct {
+	// SlowThreshold is the duration at or over which a request enters the
+	// slow-query ring. 0 selects the 500ms default; negative disables
+	// capture.
+	SlowThreshold time.Duration
+	// SlowRingCap bounds the slow-query ring (entries; <=0 selects 128).
+	SlowRingCap int
+	// Logger, when non-nil, receives per-request structured log lines.
+	Logger *slog.Logger
+}
+
+// defaultSlowThreshold is the slow-query capture threshold when Options
+// names none.
+const defaultSlowThreshold = 500 * time.Millisecond
 
 // NewServer builds the HTTP API over a single memory-resident store, which
 // becomes the default store of a one-entry registry.
@@ -61,13 +98,25 @@ func NewServer(store *Store) *Server {
 	return NewMultiServer(NewMemRegistry(store, 0))
 }
 
-// NewMultiServer builds the HTTP API over a registry of named stores.
+// NewMultiServer builds the HTTP API over a registry of named stores with
+// default observability options.
 func NewMultiServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
-	for _, ep := range []struct {
-		method, path, name string
-		h                  func(*Store, http.ResponseWriter, *http.Request)
-	}{
+	return NewMultiServerWith(reg, Options{})
+}
+
+// NewMultiServerWith builds the HTTP API over a registry of named stores.
+func NewMultiServerWith(reg *Registry, opts Options) *Server {
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = defaultSlowThreshold
+	}
+	s := &Server{
+		reg:        reg,
+		mux:        http.NewServeMux(),
+		logger:     opts.Logger,
+		slow:       obs.NewSlowRing(opts.SlowRingCap),
+		slowThresh: opts.SlowThreshold,
+	}
+	for _, ep := range []endpointDef{
 		{"POST", "/segment", "segment", s.handleSegment},
 		{"POST", "/summarize", "summarize", s.handleSummarize},
 		{"POST", "/query", "query", s.handleQuery},
@@ -80,9 +129,7 @@ func NewMultiServer(reg *Registry) *Server {
 	} {
 		ep := ep
 		s.mux.HandleFunc(ep.method+" "+ep.path, func(w http.ResponseWriter, r *http.Request) {
-			st := s.reg.Default()
-			st.countRequest(ep.name)
-			ep.h(st, w, r)
+			s.serveEndpoint(s.reg.Default(), ep, w, r)
 		})
 		s.mux.HandleFunc(ep.method+" /stores/{store}"+ep.path, func(w http.ResponseWriter, r *http.Request) {
 			st, err := s.reg.Get(r.PathValue("store"))
@@ -90,13 +137,90 @@ func NewMultiServer(reg *Registry) *Server {
 				writeErr(w, http.StatusNotFound, "%v", err)
 				return
 			}
-			st.countRequest(ep.name)
-			ep.h(st, w, r)
+			s.serveEndpoint(st, ep, w, r)
 		})
 	}
 	s.mux.HandleFunc("PUT /stores/{store}", s.handleStoreCreate)
 	s.mux.HandleFunc("GET /stores", s.handleStoreList)
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	return s
+}
+
+// endpointDef is one store-scoped endpoint registration.
+type endpointDef struct {
+	method, path, name string
+	h                  func(*Store, http.ResponseWriter, *http.Request)
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// serveEndpoint runs one store-scoped request through the observability
+// wrapper: request-id resolution and echo, per-endpoint counters and
+// latency histogram, slow-query capture and the structured request log.
+// The total counter bumps before the handler (so a /metrics response counts
+// itself, as it always has); status class and latency record on completion.
+func (s *Server) serveEndpoint(st *Store, ep endpointDef, w http.ResponseWriter, r *http.Request) {
+	st.countRequest(ep.name)
+
+	id := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(id) {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	ctx := obs.WithRequestID(r.Context(), id)
+	ctx, stages := obs.WithStages(ctx)
+
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	ep.h(st, sw, r.WithContext(ctx))
+	d := time.Since(start)
+	st.observeRequest(ep.name, sw.status, d)
+
+	slow := s.slowThresh > 0 && d >= s.slowThresh
+	if slow {
+		entry := obs.SlowEntry{
+			Time:          start,
+			RequestID:     id,
+			Store:         st.Name(),
+			Endpoint:      ep.name,
+			Shape:         r.Method + " " + r.URL.Path,
+			Status:        sw.status,
+			DurationNanos: d.Nanoseconds(),
+		}
+		if ep.name == "ingest" {
+			entry.Stages = stages
+		}
+		s.slow.Add(entry)
+	}
+	if s.logger != nil {
+		lvl := slog.LevelDebug
+		switch {
+		case sw.status >= 500:
+			lvl = slog.LevelError
+		case sw.status >= 400 || slow:
+			lvl = slog.LevelWarn
+		}
+		s.logger.LogAttrs(ctx, lvl, "request",
+			slog.String("request_id", id),
+			slog.String("store", st.Name()),
+			slog.String("endpoint", ep.name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Uint64("epoch", st.Epoch().N),
+			slog.Int64("duration_us", d.Microseconds()),
+			slog.Bool("slow", slow),
+		)
+	}
 }
 
 // Store returns the default store (the one the legacy endpoints serve).
@@ -367,7 +491,7 @@ func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request)
 		return
 	}
 	resp := IngestResponse{Results: make([]IngestResult, 0, len(req.Ops))}
-	err := st.Update(func(rec *prov.Recorder) error {
+	err := st.UpdateCtx(r.Context(), func(rec *prov.Recorder) error {
 		// Validate the whole batch against the pre-batch graph first so the
 		// batch applies atomically: either every op commits or none does.
 		// Input ids must reference vertices that existed before the batch
@@ -458,7 +582,33 @@ func (s *Server) handleStats(st *Store, w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, st.Stats())
 }
 
+// wantsPrometheus reports whether a /metrics request asked for the text
+// exposition format: ?format=prometheus wins, else an Accept header naming
+// text/plain or an openmetrics type. The JSON panel stays the default so
+// existing consumers (and curl without headers) see what they always did.
+func wantsPrometheus(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := strings.ToLower(r.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(st *Store, w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		// The unprefixed endpoint is the scrape target: one exposition over
+		// every store. The /stores/{name}/metrics spelling scopes to its
+		// store.
+		stores := []*Store{st}
+		if r.PathValue("store") == "" {
+			stores = s.reg.List()
+		}
+		s.writePrometheus(w, stores)
+		return
+	}
 	ep := st.Epoch()
 	resp := MetricsResponse{
 		Store:        st.Name(),
@@ -470,8 +620,21 @@ func (s *Server) handleMetrics(st *Store, w http.ResponseWriter, r *http.Request
 		Freeze:       st.FreezeStatsSnapshot(),
 		WAL:          st.DurabilityStatsSnapshot(),
 		Requests:     st.RequestCounts(),
+		Endpoints:    st.EndpointStatsSnapshot(),
+		Stages:       st.StageStats(),
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSlow serves GET /debug/slow: the slow-query ring, newest first,
+// each entry carrying its request id, query shape, status and — for ingest
+// — the commit-pipeline stage breakdown.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowResponse{
+		ThresholdMillis: s.slowThresh.Milliseconds(),
+		Total:           s.slow.Total(),
+		Entries:         s.slow.Snapshot(),
+	})
 }
 
 func (s *Server) handleHealthz(st *Store, w http.ResponseWriter, r *http.Request) {

@@ -18,8 +18,10 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cypher"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/wal"
 )
@@ -70,8 +73,29 @@ type Store struct {
 
 	cache *segCache
 
-	// requests counts HTTP requests routed to this store, per endpoint.
-	requests map[string]*atomic.Uint64
+	// requests tracks HTTP requests routed to this store, per endpoint:
+	// totals (bumped at routing time, so /metrics counts itself), the
+	// status-class split and the latency histogram (both recorded on
+	// completion). All atomics — the observability layer adds no locks.
+	requests map[string]*endpointMetrics
+
+	// Commit-pipeline stage histograms: queue wait (staged → committer
+	// dequeue, group commit only), WAL append write, fsync, and publication
+	// (cache revalidation + epoch pointer swap).
+	stageEnqueue obs.Histogram
+	stageAppend  obs.Histogram
+	stageFsync   obs.Histogram
+	stagePublish obs.Histogram
+
+	// Group-commit queue-wait counters (the JSON metrics panel; the
+	// histogram above carries the distribution).
+	queueWaitLastNs  atomic.Int64
+	queueWaitMaxNs   atomic.Int64
+	queueWaitTotalNs atomic.Int64
+
+	// logger, when non-nil, receives a Debug-level structured line per
+	// published commit carrying the staging request's id.
+	logger *slog.Logger
 
 	// Freeze instrumentation: how commits build their snapshots (the
 	// incremental CSR extension vs the full rebuild fallback) and what the
@@ -131,17 +155,53 @@ type Store struct {
 type walFailure struct{ err error }
 
 // commitReq is one staged batch traveling from Update to the committer:
-// the built (unpublished) epoch, its predecessor, and the encoded delta.
+// the built (unpublished) epoch, its predecessor, and the encoded delta,
+// plus the request-tracing context it carries through the pipeline — when
+// it was staged (queue-wait timing), the originating request id, and the
+// request's stage record for the committer to stamp timings into.
 type commitReq struct {
-	ep, old *Epoch
-	payload []byte
-	done    chan error
+	ep, old  *Epoch
+	payload  []byte
+	done     chan error
+	stagedAt time.Time
+	reqID    string
+	stages   *obs.Stages
 }
 
 // endpointNames are the per-store request counters surfaced in /metrics.
 var endpointNames = []string{
 	"segment", "summarize", "query", "adjust", "ingest",
 	"stats", "metrics", "healthz", "export",
+}
+
+// Status-class indices of endpointMetrics.classes. Informational and
+// redirect statuses count as success — the split exists to make error
+// rates observable.
+const (
+	classOK  = 0 // < 400
+	class4xx = 1
+	class5xx = 2
+)
+
+// endpointMetrics is one endpoint's per-store counters: total requests
+// (routed), completions by status class, and the completion latency
+// histogram.
+type endpointMetrics struct {
+	total   atomic.Uint64
+	classes [3]atomic.Uint64
+	lat     obs.Histogram
+}
+
+// statusClass maps an HTTP status to its counter index.
+func statusClass(status int) int {
+	switch {
+	case status >= 500:
+		return class5xx
+	case status >= 400:
+		return class4xx
+	default:
+		return classOK
+	}
 }
 
 // observeFreeze records one snapshot build on the commit path.
@@ -197,11 +257,11 @@ func newStore(p *prov.Graph, rec *prov.Recorder, cacheCap int, epoch uint64) *St
 	s := &Store{
 		rec:      rec,
 		cache:    newSegCache(cacheCap),
-		requests: make(map[string]*atomic.Uint64, len(endpointNames)),
+		requests: make(map[string]*endpointMetrics, len(endpointNames)),
 		started:  time.Now(),
 	}
 	for _, name := range endpointNames {
-		s.requests[name] = &atomic.Uint64{}
+		s.requests[name] = &endpointMetrics{}
 	}
 	start := time.Now()
 	fz := p.Freeze()
@@ -215,21 +275,98 @@ func newStore(p *prov.Graph, rec *prov.Recorder, cacheCap int, epoch uint64) *St
 // Name returns the store's registry name ("" for bare NewStore stores).
 func (s *Store) Name() string { return s.name }
 
-// countRequest bumps the store's per-endpoint request counter. Unknown
-// endpoint names are ignored (the set is fixed at construction).
+// countRequest bumps the store's per-endpoint request total. Called at
+// routing time (before the handler runs), so a /metrics response includes
+// the request that produced it. Unknown endpoint names are ignored (the set
+// is fixed at construction).
 func (s *Store) countRequest(endpoint string) {
-	if ctr, ok := s.requests[endpoint]; ok {
-		ctr.Add(1)
+	if m, ok := s.requests[endpoint]; ok {
+		m.total.Add(1)
 	}
 }
 
-// RequestCounts snapshots the per-endpoint request counters.
+// observeRequest records a completed request: its status class and latency.
+// Totals are bumped at routing time instead, so between the two a request
+// is visibly in flight (total exceeds the class sum by the in-flight count).
+func (s *Store) observeRequest(endpoint string, status int, d time.Duration) {
+	m, ok := s.requests[endpoint]
+	if !ok {
+		return
+	}
+	m.classes[statusClass(status)].Add(1)
+	m.lat.Observe(d)
+}
+
+// RequestCounts snapshots the per-endpoint request totals.
 func (s *Store) RequestCounts() map[string]uint64 {
 	out := make(map[string]uint64, len(s.requests))
-	for name, ctr := range s.requests {
-		out[name] = ctr.Load()
+	for name, m := range s.requests {
+		out[name] = m.total.Load()
 	}
 	return out
+}
+
+// EndpointStats is one endpoint's /metrics panel: the routed total, the
+// status-class split of completions, and the completion-latency digest.
+type EndpointStats struct {
+	Total     uint64             `json:"total"`
+	OK        uint64             `json:"2xx"`
+	ClientErr uint64             `json:"4xx"`
+	ServerErr uint64             `json:"5xx"`
+	Latency   obs.LatencySummary `json:"latency"`
+}
+
+// EndpointStatsSnapshot snapshots every endpoint's counters.
+func (s *Store) EndpointStatsSnapshot() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(s.requests))
+	for name, m := range s.requests {
+		out[name] = EndpointStats{
+			Total:     m.total.Load(),
+			OK:        m.classes[classOK].Load(),
+			ClientErr: m.classes[class4xx].Load(),
+			ServerErr: m.classes[class5xx].Load(),
+			Latency:   m.lat.Summary(),
+		}
+	}
+	return out
+}
+
+// Commit-pipeline stage names, in pipeline order. StageStats and the
+// Prometheus exposition key their series by these.
+var stageNames = []string{"enqueue", "append", "fsync", "publish"}
+
+// stageHistogram maps a stage name to its histogram.
+func (s *Store) stageHistogram(stage string) *obs.Histogram {
+	switch stage {
+	case "enqueue":
+		return &s.stageEnqueue
+	case "append":
+		return &s.stageAppend
+	case "fsync":
+		return &s.stageFsync
+	case "publish":
+		return &s.stagePublish
+	}
+	return nil
+}
+
+// StageStats digests the commit-pipeline stage histograms, keyed by stage
+// name (enqueue, append, fsync, publish).
+func (s *Store) StageStats() map[string]obs.LatencySummary {
+	out := make(map[string]obs.LatencySummary, len(stageNames))
+	for _, name := range stageNames {
+		out[name] = s.stageHistogram(name).Summary()
+	}
+	return out
+}
+
+// RequestLatency returns the endpoint's latency histogram (nil for unknown
+// endpoints); the Prometheus exposition reads buckets through it.
+func (s *Store) RequestLatency(endpoint string) *obs.Histogram {
+	if m, ok := s.requests[endpoint]; ok {
+		return &m.lat
+	}
+	return nil
 }
 
 // Epoch returns the current snapshot. The result is immutable and safe to
@@ -265,6 +402,18 @@ func (s *Store) View(fn func(p *prov.Graph)) {
 // refused, because the in-memory graph and the log can no longer be
 // reconciled.
 func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
+	return s.UpdateCtx(context.Background(), fn)
+}
+
+// UpdateCtx is Update carrying the request context through the commit
+// pipeline: the context's request id (obs.RequestID) is attached to the
+// committer's structured logs, and its stage record (obs.StagesFrom) is
+// stamped with per-stage timings — encode, freeze, queue wait, append,
+// fsync, publish — as the batch flows through. The context does not cancel
+// the commit: once fn has mutated the graph the batch must reach the log,
+// so ctx is trace metadata, not a deadline.
+func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error) error {
+	stages := obs.StagesFrom(ctx)
 	s.writeMu.Lock()
 	// Deferred so a panic in fn (or in delta encoding / the freeze) releases
 	// the write mutex instead of wedging the store; the group-commit path
@@ -287,6 +436,7 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 	old := s.tail
 	var payload []byte
 	if s.wal != nil {
+		start := time.Now()
 		var buf bytes.Buffer
 		if err := s.rec.P.PG().EncodeDelta(&buf, old.P.PG().Dict().Len(), old.Vertices, old.Edges); err != nil {
 			// The graph mutated but nothing can be logged: unreconcilable.
@@ -294,17 +444,27 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 			return fmt.Errorf("store: write-ahead log: %w", err)
 		}
 		payload = buf.Bytes()
+		if stages != nil {
+			stages.EncodeNanos = time.Since(start).Nanoseconds()
+		}
 	}
 	start := time.Now()
 	fz, incremental := s.rec.P.ExtendFrozen(old.P)
-	s.observeFreeze(incremental, time.Since(start))
+	freeze := time.Since(start)
+	s.observeFreeze(incremental, freeze)
+	if stages != nil {
+		stages.FreezeNanos = freeze.Nanoseconds()
+	}
 	ep := &Epoch{N: old.N + 1, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
 
 	if s.wal != nil && s.groupCommit {
 		// Group commit: stage the built epoch (still holding writeMu, so the
 		// queue receives epochs in order) and wait off-lock for the committer
 		// to make it durable and publish it.
-		req := &commitReq{ep: ep, old: old, payload: payload, done: make(chan error, 1)}
+		req := &commitReq{
+			ep: ep, old: old, payload: payload, done: make(chan error, 1),
+			stagedAt: time.Now(), reqID: obs.RequestID(ctx), stages: stages,
+		}
 		s.tail = ep
 		s.commitCh <- req
 		locked = false
@@ -315,14 +475,56 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 	if s.wal != nil {
 		// Inline commit: append + fsync (per policy) this batch alone, before
 		// the swap publishes it.
-		if err := s.wal.Append(ep.N, payload); err != nil {
+		tm, err := s.wal.AppendTimed(ep.N, payload)
+		s.observeAppend(tm, stages)
+		if err != nil {
 			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
 			return fmt.Errorf("store: write-ahead log: %w", err)
 		}
 	}
 	s.tail = ep
+	start = time.Now()
 	s.publish(ep, old)
+	s.observePublish(time.Since(start), stages)
+	s.logCommit(ctx, obs.RequestID(ctx), ep, 1)
 	return nil
+}
+
+// observeAppend records an append's write/fsync split into the stage
+// histograms and, when the request carries one, its stage record.
+func (s *Store) observeAppend(tm wal.AppendTimings, stages *obs.Stages) {
+	s.stageAppend.Observe(time.Duration(tm.WriteNanos))
+	if tm.Synced {
+		s.stageFsync.Observe(time.Duration(tm.SyncNanos))
+	}
+	if stages != nil {
+		stages.AppendNanos, stages.FsyncNanos = tm.WriteNanos, tm.SyncNanos
+	}
+}
+
+// observePublish records one publication into the stage histograms and the
+// request's stage record.
+func (s *Store) observePublish(d time.Duration, stages *obs.Stages) {
+	s.stagePublish.Observe(d)
+	if stages != nil {
+		stages.PublishNanos = d.Nanoseconds()
+	}
+}
+
+// logCommit emits the per-commit structured log line (Debug level) tying the
+// published epoch back to the request that staged it.
+func (s *Store) logCommit(ctx context.Context, reqID string, ep *Epoch, group int) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(ctx, slog.LevelDebug, "commit published",
+		slog.String("store", s.name),
+		slog.Uint64("epoch", ep.N),
+		slog.String("request_id", reqID),
+		slog.Int("group_size", group),
+		slog.Int("vertices", ep.Vertices),
+		slog.Int("edges", ep.Edges),
+	)
 }
 
 // publish makes a durable (or memory-only) epoch visible: the cache is
@@ -395,6 +597,21 @@ drain:
 			break drain
 		}
 	}
+	// Queue wait ends here for every member: the group is formed and the
+	// committer owns it. Recorded per member — the group leader waited the
+	// longest, stragglers that arrived during the drain barely at all.
+	now := time.Now()
+	for _, req := range group {
+		wait := now.Sub(req.stagedAt)
+		if wait < 0 {
+			wait = 0
+		}
+		s.stageEnqueue.Observe(wait)
+		s.observeQueueWait(wait.Nanoseconds())
+		if req.stages != nil {
+			req.stages.QueueWaitNanos = wait.Nanoseconds()
+		}
+	}
 	if f := s.walFail.Load(); f != nil {
 		s.failGroup(group, f.err)
 		return
@@ -403,7 +620,20 @@ drain:
 	for i, req := range group {
 		recs[i] = wal.Record{Epoch: req.ep.N, Payload: req.payload}
 	}
-	if err := s.wal.AppendBatch(recs); err != nil {
+	tm, err := s.wal.AppendBatchTimed(recs)
+	// The append and fsync are group-level costs: record one histogram
+	// sample each, but stamp every member's stage record (each request paid
+	// the whole group latency in wall-clock terms).
+	s.stageAppend.Observe(time.Duration(tm.WriteNanos))
+	if tm.Synced {
+		s.stageFsync.Observe(time.Duration(tm.SyncNanos))
+	}
+	for _, req := range group {
+		if req.stages != nil {
+			req.stages.AppendNanos, req.stages.FsyncNanos = tm.WriteNanos, tm.SyncNanos
+		}
+	}
+	if err != nil {
 		s.walFail.CompareAndSwap(nil, &walFailure{err: err})
 		s.failGroup(group, err)
 		return
@@ -418,7 +648,10 @@ drain:
 		}
 	}
 	for _, req := range group {
+		start := time.Now()
 		s.publish(req.ep, req.old)
+		s.observePublish(time.Since(start), req.stages)
+		s.logCommit(context.Background(), req.reqID, req.ep, len(group))
 		// Resolved moves only after the publish is visible, so a drain
 		// waiter that observes resolved >= tail also observes snap at (or
 		// past) every acknowledged epoch; the extra signal wakes it to
@@ -426,6 +659,19 @@ drain:
 		s.resolved.Store(req.ep.N)
 		s.signalPub()
 		req.done <- nil
+	}
+}
+
+// observeQueueWait folds one member's queue wait into the group-commit
+// counters.
+func (s *Store) observeQueueWait(ns int64) {
+	s.queueWaitLastNs.Store(ns)
+	s.queueWaitTotalNs.Add(ns)
+	for {
+		max := s.queueWaitMaxNs.Load()
+		if ns <= max || s.queueWaitMaxNs.CompareAndSwap(max, ns) {
+			return
+		}
 	}
 }
 

@@ -332,13 +332,20 @@ func (m *Manager) openFreshLog(epoch uint64) error {
 // on stable storage when Append returns; the caller then publishes the
 // epoch. Callers serialize Append with Rotate (the store's write mutex).
 func (m *Manager) Append(epoch uint64, payload []byte) error {
+	_, err := m.AppendTimed(epoch, payload)
+	return err
+}
+
+// AppendTimed is Append reporting write vs fsync time (the commit-stage
+// histogram hook).
+func (m *Manager) AppendTimed(epoch uint64, payload []byte) (AppendTimings, error) {
 	m.mu.Lock()
 	lg := m.log
 	m.mu.Unlock()
 	if lg == nil {
-		return errors.New("wal: append before Bootstrap")
+		return AppendTimings{}, errors.New("wal: append before Bootstrap")
 	}
-	return lg.Append(epoch, payload, m.policy == SyncAlways)
+	return lg.AppendTimed(epoch, payload, m.policy == SyncAlways)
 }
 
 // AppendBatch logs a group of delta records with one write and (under
@@ -346,13 +353,20 @@ func (m *Manager) Append(epoch uint64, payload []byte) error {
 // consecutive epochs in slice order. Callers serialize AppendBatch with
 // Append and Rotate exactly as they do Append.
 func (m *Manager) AppendBatch(recs []Record) error {
+	_, err := m.AppendBatchTimed(recs)
+	return err
+}
+
+// AppendBatchTimed is AppendBatch reporting write vs fsync time for the
+// whole group.
+func (m *Manager) AppendBatchTimed(recs []Record) (AppendTimings, error) {
 	m.mu.Lock()
 	lg := m.log
 	m.mu.Unlock()
 	if lg == nil {
-		return errors.New("wal: append before Bootstrap")
+		return AppendTimings{}, errors.New("wal: append before Bootstrap")
 	}
-	return lg.AppendBatch(recs, m.policy == SyncAlways)
+	return lg.AppendBatchTimed(recs, m.policy == SyncAlways)
 }
 
 // Rotate seals the active log and directs subsequent appends to a fresh

@@ -270,6 +270,17 @@ func frameInto(buf *bytes.Buffer, epoch uint64, payload []byte) {
 	buf.Write(payload)
 }
 
+// AppendTimings breaks one append into its write and fsync components, the
+// per-stage timing hook the serving layer's commit-pipeline histograms feed
+// on. Synced reports whether this append paid an fsync at all (false under
+// the interval/never policies, whose callers must not record a zero fsync
+// sample).
+type AppendTimings struct {
+	WriteNanos int64
+	SyncNanos  int64
+	Synced     bool
+}
+
 // AppendBatch frames and writes a group of records in one write syscall and,
 // with sync true, one fsync for the whole group — the group-commit primitive:
 // the fsync cost amortizes across every record in the batch. Records land in
@@ -277,40 +288,59 @@ func frameInto(buf *bytes.Buffer, epoch uint64, payload []byte) {
 // that order. The caller must not publish any member epoch until AppendBatch
 // returns.
 func (l *Log) AppendBatch(recs []Record, sync bool) error {
+	_, err := l.AppendBatchTimed(recs, sync)
+	return err
+}
+
+// AppendBatchTimed is AppendBatch reporting where the time went.
+func (l *Log) AppendBatchTimed(recs []Record, sync bool) (AppendTimings, error) {
+	var tm AppendTimings
 	if len(recs) == 0 {
-		return nil
+		return tm, nil
 	}
 	var buf bytes.Buffer
 	for _, r := range recs {
 		if bodyHeaderLen+len(r.Payload) > maxRecordLen {
-			return fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(r.Payload), maxRecordLen-bodyHeaderLen)
+			return tm, fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(r.Payload), maxRecordLen-bodyHeaderLen)
 		}
 		frameInto(&buf, r.Epoch, r.Payload)
 	}
+	start := time.Now()
 	l.mu.Lock()
 	_, err := l.f.Write(buf.Bytes())
 	l.mu.Unlock()
+	tm.WriteNanos = time.Since(start).Nanoseconds()
 	if err != nil {
-		return err
+		return tm, err
 	}
 	l.stats.records.Add(uint64(len(recs)))
 	l.stats.bytes.Add(uint64(buf.Len()))
 	if sync {
-		return l.Sync()
+		start = time.Now()
+		err = l.Sync()
+		tm.SyncNanos, tm.Synced = time.Since(start).Nanoseconds(), err == nil
 	}
-	return nil
+	return tm, err
 }
 
 // Append frames and writes one record. With sync true the record (and
 // everything before it) is fsynced before Append returns; the caller must
 // not publish the epoch until then.
 func (l *Log) Append(epoch uint64, payload []byte, sync bool) error {
+	_, err := l.AppendTimed(epoch, payload, sync)
+	return err
+}
+
+// AppendTimed is Append reporting where the time went.
+func (l *Log) AppendTimed(epoch uint64, payload []byte, sync bool) (AppendTimings, error) {
+	var tm AppendTimings
 	n := bodyHeaderLen + len(payload)
 	if n > maxRecordLen {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(payload), maxRecordLen-bodyHeaderLen)
+		return tm, fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(payload), maxRecordLen-bodyHeaderLen)
 	}
 	hdr := frameHeader(epoch, payload)
 
+	start := time.Now()
 	l.mu.Lock()
 	var err error
 	if len(payload) < smallRecordMax {
@@ -323,15 +353,18 @@ func (l *Log) Append(epoch uint64, payload []byte, sync bool) error {
 		}
 	}
 	l.mu.Unlock()
+	tm.WriteNanos = time.Since(start).Nanoseconds()
 	if err != nil {
-		return err
+		return tm, err
 	}
 	l.stats.records.Add(1)
 	l.stats.bytes.Add(uint64(frameHeaderLen) + uint64(n))
 	if sync {
-		return l.Sync()
+		start = time.Now()
+		err = l.Sync()
+		tm.SyncNanos, tm.Synced = time.Since(start).Nanoseconds(), err == nil
 	}
-	return nil
+	return tm, err
 }
 
 // Sync fsyncs the log file and records the latency.

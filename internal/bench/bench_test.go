@@ -6,13 +6,16 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
 )
 
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 11 {
-		t.Fatalf("want 11 panels, got %v", IDs())
+	if len(IDs()) != 12 {
+		t.Fatalf("want 12 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
@@ -116,6 +119,39 @@ func TestFigCSRTiny(t *testing.T) {
 	fig := FigCSR(ScaleSmall)
 	if len(fig.Rows) != 3 {
 		t.Fatalf("want 3 size points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			if r.Cells[s] == "" {
+				t.Fatalf("empty cell %s at N=%s", s, r.X)
+			}
+		}
+	}
+}
+
+// TestVecEquivalence drives the vec panel's inline equality assertion on a
+// tiny frozen graph — segment, closure and Cypher results must match
+// between the scalar and vectorized engines before any timing is trusted.
+// This is the CI smoke for the panel; the full sweep runs via provbench.
+func TestVecEquivalence(t *testing.T) {
+	p := pdGraph(gen.PdConfig{N: 500, Seed: 1})
+	src, dst := gen.QueryAtRank(p, 0)
+	fz := p.Freeze()
+	assertVecEqualsScalar(fz, src, dst) // panics on divergence
+	if d := timeWalkOpts(fz, src, dst, core.Options{}, 2); d < 0 {
+		t.Fatal("walk timing negative")
+	}
+}
+
+// TestFigVecTiny runs the scalar-vs-vectorized panel on the smallest scale
+// and sanity-checks every cell is a measurement.
+func TestFigVecTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vec sweep regenerates Pd graphs")
+	}
+	fig := FigVec(ScaleSmall)
+	if len(fig.Rows) != 2 {
+		t.Fatalf("want 2 size points, got %d", len(fig.Rows))
 	}
 	for _, r := range fig.Rows {
 		for _, s := range fig.Series {

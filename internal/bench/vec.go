@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graph/difftest"
+	"repro/internal/prov"
+)
+
+// Panel "vec": the scalar per-vertex traversals vs the vectorized
+// frontier-at-a-time engine, on the same frozen epoch snapshot. Three
+// workloads: the full PgSeg segmentation, the pure ancestry walk (VC1
+// closures, the adjacency-bound kernel the frontier engine rewrites into
+// word-parallel row unions), and a both-ends-anchored bounded Cypher
+// pattern (the snapshot-aware planner's corridor pruning vs the naive DFS).
+// Before timing each size, the panel asserts the two engines produce
+// bit-identical results — a benchmark of diverging engines would be
+// meaningless.
+
+// timeSegmentOpts measures one full PgSeg evaluation under opts (best of
+// reps).
+func timeSegmentOpts(p *prov.Graph, src, dst []graph.VertexID, opts core.Options, reps int) time.Duration {
+	eng := core.NewEngine(p, opts)
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := eng.Segment(core.Query{Src: src, Dst: dst}); err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// timeWalkOpts measures one VC1 ancestry pass under opts, averaged over
+// iters.
+func timeWalkOpts(p *prov.Graph, src, dst []graph.VertexID, opts core.Options, iters int) time.Duration {
+	eng := core.NewEngine(p, opts)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		eng.AncestryClosure(dst, core.Boundary{}, true)
+		eng.AncestryClosure(src, core.Boundary{}, false)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// vecCypherQuery renders the panel's anchored corridor pattern: all bounded
+// lineage walks descending from entity b down to entity e. The naive DFS
+// enumerates every edge-distinct walk in b's 8-hop cone; the planner's
+// backward sweep from e prunes branches to the b—e corridor (and proves
+// disconnected pairs empty without enumerating at all), turning exponential
+// walk counts into linear frontier sweeps.
+func vecCypherQuery(b, e graph.VertexID) string {
+	return fmt.Sprintf("match p=(b:E)<-[:U|G*1..8]-(e:E) where id(b) in [%d] and id(e) in [%d] return p", b, e)
+}
+
+// timeCypherOpts measures the corridor pattern over the query pairs under
+// opts (best of reps across the whole mix).
+func timeCypherOpts(p *prov.Graph, src, dst []graph.VertexID, opts cypher.Options, reps int) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		for _, b := range src {
+			for _, e := range dst {
+				if _, err := cypher.NewProvEvaluator(p, opts).Run(vecCypherQuery(b, e)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// assertVecEqualsScalar diffs the engines on the panel's workloads before
+// any timing.
+func assertVecEqualsScalar(p *prov.Graph, src, dst []graph.VertexID) {
+	q := core.Query{Src: src, Dst: dst}
+	if err := difftest.DiffVecScalar(p, q); err != nil {
+		panic(fmt.Sprintf("bench vec: segment divergence: %v", err))
+	}
+	if err := difftest.DiffClosures(p, q); err != nil {
+		panic(fmt.Sprintf("bench vec: closure divergence: %v", err))
+	}
+	for _, b := range src {
+		for _, e := range dst {
+			qs := vecCypherQuery(b, e)
+			planned, perr := cypher.NewProvEvaluator(p, cypher.Options{}).Run(qs)
+			naive, nerr := cypher.NewProvEvaluator(p, cypher.Options{NoPlanner: true}).Run(qs)
+			if (perr == nil) != (nerr == nil) {
+				panic(fmt.Sprintf("bench vec: cypher error divergence: %v vs %v", perr, nerr))
+			}
+			if perr != nil {
+				continue
+			}
+			if len(planned.Rows) != len(naive.Rows) {
+				panic(fmt.Sprintf("bench vec: cypher row divergence on %q: %d vs %d",
+					qs, len(planned.Rows), len(naive.Rows)))
+			}
+			for i := range planned.Rows {
+				for j := range planned.Rows[i] {
+					if planned.Rows[i][j].String() != naive.Rows[i][j].String() {
+						panic(fmt.Sprintf("bench vec: cypher cell divergence on %q at row %d", qs, i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// FigVec compares the scalar and vectorized engines across graph sizes.
+func FigVec(scale Scale) Figure {
+	var ns []int
+	switch scale {
+	case ScaleSmall:
+		ns = []int{5000, 20000}
+	case ScaleMedium:
+		ns = []int{50000, 100000}
+	default:
+		ns = []int{100000, 300000, 1000000}
+	}
+	fig := Figure{
+		ID:      "vec",
+		Caption: "scalar vs vectorized frontier engine (frozen Pd snapshots)",
+		XLabel:  "N",
+		YLabel:  "runtime",
+		Series: []string{"seg scalar", "seg vec", "seg speedup",
+			"walk scalar", "walk vec", "walk speedup",
+			"cypher naive", "cypher planned", "cypher speedup"},
+	}
+	const reps = 3
+	speedup := func(scalar, vec time.Duration) string {
+		if vec <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", float64(scalar)/float64(vec))
+	}
+	for _, n := range ns {
+		p := pdGraph(gen.PdConfig{N: n, Seed: 1})
+		src, dst := gen.QueryAtRank(p, 0)
+		fz := p.Freeze()
+
+		assertVecEqualsScalar(fz, src, dst)
+
+		iters := 2_000_000/n + 1
+		scalarOpts := core.Options{ScalarTraversal: true}
+		segScalar := timeSegmentOpts(fz, src, dst, scalarOpts, reps)
+		segVec := timeSegmentOpts(fz, src, dst, core.Options{}, reps)
+		walkScalar := timeWalkOpts(fz, src, dst, scalarOpts, iters)
+		walkVec := timeWalkOpts(fz, src, dst, core.Options{}, iters)
+		cyNaive := timeCypherOpts(fz, src, dst, cypher.Options{NoPlanner: true}, reps)
+		cyPlanned := timeCypherOpts(fz, src, dst, cypher.Options{}, reps)
+
+		fig.Rows = append(fig.Rows, Row{X: fmt.Sprint(n), Cells: map[string]string{
+			"seg scalar":     secs(segScalar),
+			"seg vec":        secs(segVec),
+			"seg speedup":    speedup(segScalar, segVec),
+			"walk scalar":    secs(walkScalar),
+			"walk vec":       secs(walkVec),
+			"walk speedup":   speedup(walkScalar, walkVec),
+			"cypher naive":   secs(cyNaive),
+			"cypher planned": secs(cyPlanned),
+			"cypher speedup": speedup(cyNaive, cyPlanned),
+		}})
+	}
+	return fig
+}

@@ -81,6 +81,11 @@ type Options struct {
 	// induction (they participate by default; Fig. 2's Q1/Q2 instead
 	// exclude them with an explicit edge-type boundary).
 	VC1ExcludeDerivations bool
+	// ScalarTraversal forces the scalar vertex-at-a-time walks even where
+	// the vectorized frontier engine applies (plain boundaries on frozen
+	// snapshots — see frontier.go). Results are identical either way; the
+	// difftest harness runs both and diffs.
+	ScalarTraversal bool
 }
 
 // Engine evaluates PgSeg queries over one provenance graph.
@@ -281,17 +286,21 @@ func (e *Engine) Segment(q Query) (*Segment, error) {
 	// VC3: entities generated by induced activities but not already induced.
 	coreSet := vc1.Clone()
 	coreSet.UnionWith(vc2)
-	var buf []graph.VertexID
-	coreSet.Iterate(func(x uint32) bool {
-		v := graph.VertexID(x)
-		if e.P.IsKind(v, prov.KindActivity) {
-			buf = ad.generatedBy(v, buf[:0])
-			for _, sib := range buf {
-				addV(sib, RuleC3)
+	if e.vectorizable(ad) {
+		e.frontierSiblings(coreSet, ad, addV)
+	} else {
+		var buf []graph.VertexID
+		coreSet.Iterate(func(x uint32) bool {
+			v := graph.VertexID(x)
+			if e.P.IsKind(v, prov.KindActivity) {
+				buf = ad.generatedBy(v, buf[:0])
+				for _, sib := range buf {
+					addV(sib, RuleC3)
+				}
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 
 	// Expansions (b_x): ancestry within k activities of the given entities.
 	for _, ex := range q.Boundary.Expansions {
@@ -299,14 +308,18 @@ func (e *Engine) Segment(q Query) (*Segment, error) {
 	}
 
 	// VC4: agents of every included vertex, reached by non-excluded edges.
-	var agents []graph.VertexID
-	seg.vset.Iterate(func(x uint32) bool {
-		agents = ad.agentsOf(graph.VertexID(x), agents[:0])
-		for _, u := range agents {
-			addV(u, RuleC4)
-		}
-		return true
-	})
+	if e.vectorizable(ad) {
+		e.frontierAgents(seg.vset, ad, addV)
+	} else {
+		var agents []graph.VertexID
+		seg.vset.Iterate(func(x uint32) bool {
+			agents = ad.agentsOf(graph.VertexID(x), agents[:0])
+			for _, u := range agents {
+				addV(u, RuleC4)
+			}
+			return true
+		})
+	}
 
 	// Support set: the closures already bound every VC1/VC2 derivation; add
 	// the segment itself (covers VC3 siblings, VC4 agents, induced edges and
@@ -336,6 +349,9 @@ func setToVertices(vs *bitmap.Bitset) []graph.VertexID {
 
 // inducedEdges returns ES = all non-excluded edges with both endpoints in vs.
 func (e *Engine) inducedEdges(vs *bitmap.Bitset, ad *adjacency) []graph.EdgeID {
+	if e.vectorizable(ad) {
+		return e.inducedEdgesVec(vs, ad)
+	}
 	var out []graph.EdgeID
 	g := e.P.PG()
 	vs.Iterate(func(x uint32) bool {
@@ -357,6 +373,10 @@ func (e *Engine) inducedEdges(vs *bitmap.Bitset, ad *adjacency) []graph.EdgeID {
 // frontier vertices multiplicatively per step, and k arrives unvalidated
 // from CLI flags and HTTP requests.
 func (e *Engine) expand(ad *adjacency, ex Expansion, add func(graph.VertexID)) {
+	if e.vectorizable(ad) {
+		e.expandFrontier(ad, ex, add)
+		return
+	}
 	seen := bitmap.NewBitset(e.P.NumVertices())
 	ents := make([]graph.VertexID, 0, len(ex.Within))
 	seeds := bitmap.NewBitset(e.P.NumVertices())

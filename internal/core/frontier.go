@@ -1,0 +1,358 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Frontier-at-a-time traversal engine. On a frozen snapshot every
+// per-relation neighbor set is a contiguous CSR row (at most two segments on
+// incrementally extended epochs), so a BFS step is a sweep of row unions
+// into a bitset followed by one word-parallel visited-set subtraction —
+// vertex-at-a-time stack walks become whole-frontier kernel calls. Excluded
+// relations are dropped before the walk starts, so their blocks are never
+// read at all (pinned by the graph package's row-read hook in tests).
+//
+// Each step picks its direction Beamer-style: top-down scatters the
+// frontier's rows forward; once the frontier's expected edge volume (from
+// the snapshot's freeze-time degree statistics) overtakes the unvisited
+// remainder, the step flips bottom-up — scan the complement of the visited
+// set word-wise and probe each candidate's reverse row against the frontier
+// with early exit.
+//
+// Every routine here is bit-identical to its scalar counterpart (the walks
+// compute sets, not orders, and rule attribution is uniform per phase);
+// Options.ScalarTraversal forces the scalar path and the difftest harness
+// diffs the two over the randomized script corpus.
+
+// vectorizable reports whether traversals under this boundary may take the
+// frontier path: the snapshot must be frozen (CSR rows to union) and the
+// boundary plain — programmatic per-vertex/per-edge predicates would have
+// to run per element anyway, forfeiting the word-parallel win.
+func (e *Engine) vectorizable(ad *adjacency) bool {
+	return !e.opts.ScalarTraversal && ad.plain && e.P.Frozen()
+}
+
+// closureRels returns the ancestry relations a closure follows (shared by
+// the scalar and frontier walks).
+func (e *Engine) closureRels() []prov.Rel {
+	rels := []prov.Rel{prov.RelUsed, prov.RelGen}
+	if !e.opts.VC1ExcludeDerivations {
+		rels = append(rels, prov.RelDeriv)
+	}
+	return rels
+}
+
+// orViewRow unions v's row of one resolved block view into dst, zero-copy
+// across both epoch segments.
+func orViewRow(dst *bitmap.Bitset, vw graph.RelView, v graph.VertexID) {
+	b, x := vw.Row(v)
+	bitmap.OrInto(dst, b)
+	bitmap.OrInto(dst, x)
+}
+
+// closureViews resolves the closure's relation blocks once — excluded
+// relations and labels with no edges in the traversal direction are dropped
+// here, so their blocks are never read during the walk — and sums the
+// freeze-time average degrees for the direction heuristic.
+func (e *Engine) closureViews(ad *adjacency, out bool) (views []graph.RelView, avg float64) {
+	g := e.P.PG()
+	ds := g.Degrees()
+	for _, r := range e.closureRels() {
+		if !ad.relOK[r] {
+			continue
+		}
+		l := e.P.RelLabel(r)
+		if !g.LabelHasEdges(l, out) {
+			continue
+		}
+		vw, _ := g.RelBlockView(l, out)
+		views = append(views, vw)
+		avg += ds.AvgDegree(l)
+	}
+	return views, avg
+}
+
+// frontierClosure is ancestryClosure, frontier-at-a-time, with three step
+// regimes chosen per level from the frontier's cardinality and the
+// snapshot's freeze-time degree statistics:
+//
+//   - sparse (|frontier| ≤ n/64, the array-container regime): walk the
+//     frontier as an id list and test-and-set each neighbor — per-edge work
+//     with resolved block views, no full-bitset passes at all. Deep narrow
+//     DAG levels (the Pd lifecycle shape) stay in this regime throughout,
+//     where dense stepping would pay O(n/64) words per level times
+//     thousands of levels.
+//   - dense top-down: union whole neighbor rows into the next-frontier
+//     bitset and subtract the visited set word-parallel.
+//   - bottom-up (Beamer flip, |frontier|·avgDeg > |unvisited|): scan the
+//     complement of the visited set word-wise and probe each candidate's
+//     reverse row against the frontier with early exit.
+func (e *Engine) frontierClosure(seeds []graph.VertexID, ad *adjacency, forward bool) *bitmap.Bitset {
+	n := e.P.NumVertices()
+	visited := bitmap.NewBitset(n)
+	var curIDs []uint32
+	for _, v := range seeds {
+		if visited.Add(uint32(v)) {
+			curIDs = append(curIDs, uint32(v))
+		}
+	}
+	views, avg := e.closureViews(ad, forward)
+	if len(views) == 0 {
+		return visited
+	}
+	var revViews []graph.RelView // resolved on the first bottom-up step
+	var curBits, nextBits *bitmap.Bitset
+	var nextIDs []uint32
+	sparse := true
+	sparseMax := n/64 + 1
+	curCard := len(curIDs)
+	visitedCount := curCard
+	for curCard > 0 && visitedCount < n {
+		switch {
+		case float64(curCard)*avg > float64(n-visitedCount):
+			if revViews == nil {
+				revViews, _ = e.closureViews(ad, !forward)
+			}
+			curBits, nextBits = ensureBits(curBits, nextBits, n, sparse, curIDs)
+			nextBits.Clear()
+			stepBottomUp(revViews, curBits, visited, nextBits, n)
+			curCard = nextBits.Cardinality()
+			visited.UnionWith(nextBits)
+			visitedCount += curCard
+			curBits, nextBits = nextBits, curBits
+			sparse = false
+		case sparse && curCard <= sparseMax:
+			nextIDs = nextIDs[:0]
+			for _, x := range curIDs {
+				v := graph.VertexID(x)
+				for _, vw := range views {
+					b, xt := vw.Row(v)
+					for _, nb := range b {
+						if visited.Add(uint32(nb)) {
+							nextIDs = append(nextIDs, uint32(nb))
+						}
+					}
+					for _, nb := range xt {
+						if visited.Add(uint32(nb)) {
+							nextIDs = append(nextIDs, uint32(nb))
+						}
+					}
+				}
+			}
+			curIDs, nextIDs = nextIDs, curIDs
+			curCard = len(curIDs)
+			visitedCount += curCard
+		default:
+			curBits, nextBits = ensureBits(curBits, nextBits, n, sparse, curIDs)
+			nextBits.Clear()
+			for _, vw := range views {
+				curBits.Iterate(func(x uint32) bool {
+					orViewRow(nextBits, vw, graph.VertexID(x))
+					return true
+				})
+			}
+			nextBits.AndNotWith(visited)
+			curCard = nextBits.Cardinality()
+			visited.UnionWith(nextBits)
+			visitedCount += curCard
+			curBits, nextBits = nextBits, curBits
+			sparse = false
+		}
+		// A dense frontier that thinned out drops back to the id-list
+		// regime.
+		if !sparse && curCard > 0 && curCard <= sparseMax {
+			curIDs = curIDs[:0]
+			curBits.Iterate(func(x uint32) bool { curIDs = append(curIDs, x); return true })
+			sparse = true
+		}
+	}
+	return visited
+}
+
+// ensureBits lazily allocates the dense-step scratch bitsets and, when the
+// current frontier lives in the id list, materializes it into cur.
+func ensureBits(cur, next *bitmap.Bitset, n int, sparse bool, ids []uint32) (*bitmap.Bitset, *bitmap.Bitset) {
+	if cur == nil {
+		cur = bitmap.NewBitset(n)
+		next = bitmap.NewBitset(n)
+	}
+	if sparse {
+		cur.Clear()
+		for _, x := range ids {
+			cur.Add(x)
+		}
+	}
+	return cur, next
+}
+
+// stepBottomUp walks the complement of the visited set word-wise and probes
+// each unvisited vertex's reverse rows against the frontier, stopping at
+// the first hit per vertex.
+func stepBottomUp(revViews []graph.RelView, cur, visited, next *bitmap.Bitset, n int) {
+	for wi, wc := 0, visited.WordCount(); wi < wc; wi++ {
+		w := ^visited.Word(wi)
+		if w == 0 {
+			continue
+		}
+		base := uint32(wi) * 64
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			w &= w - 1
+			v := base + uint32(t)
+			if int(v) >= n {
+				return // padding bits past the vertex count
+			}
+			for _, vw := range revViews {
+				rb, rx := vw.Row(graph.VertexID(v))
+				if bitmap.AnyInto(cur, rb) || bitmap.AnyInto(cur, rx) {
+					next.Add(v)
+					break
+				}
+			}
+		}
+	}
+}
+
+// expandFrontier is expand, frontier-at-a-time: each of the k steps is two
+// row-union sweeps (entities → G-out → activities, activities → U-out →
+// next entities) with word-parallel seen-set subtraction. The visited sets
+// match the scalar walk exactly: kinds are disjoint and every scalar
+// discovery is tested against the same pre-sweep seen state.
+func (e *Engine) expandFrontier(ad *adjacency, ex Expansion, add func(graph.VertexID)) {
+	g := e.P.PG()
+	n := e.P.NumVertices()
+	lGen, lUsed := e.P.RelLabel(prov.RelGen), e.P.RelLabel(prov.RelUsed)
+	genOK := ad.relOK[prov.RelGen] && g.LabelHasEdges(lGen, true)
+	usedOK := ad.relOK[prov.RelUsed] && g.LabelHasEdges(lUsed, true)
+	var genView, usedView graph.RelView
+	if genOK {
+		genView, _ = g.RelBlockView(lGen, true)
+	}
+	if usedOK {
+		usedView, _ = g.RelBlockView(lUsed, true)
+	}
+	seen := bitmap.NewBitset(n)
+	cur := bitmap.NewBitset(n)
+	for _, en := range ex.Within {
+		cur.Add(uint32(en))
+	}
+	acts := bitmap.NewBitset(n)
+	next := bitmap.NewBitset(n)
+	for step := 0; step < ex.K && cur.Cardinality() > 0; step++ {
+		acts.Clear()
+		if genOK {
+			cur.Iterate(func(x uint32) bool {
+				orViewRow(acts, genView, graph.VertexID(x))
+				return true
+			})
+		}
+		acts.AndNotWith(seen)
+		seen.UnionWith(acts)
+		next.Clear()
+		acts.Iterate(func(x uint32) bool {
+			add(graph.VertexID(x))
+			if usedOK {
+				orViewRow(next, usedView, graph.VertexID(x))
+			}
+			return true
+		})
+		next.AndNotWith(seen)
+		seen.UnionWith(next)
+		next.Iterate(func(x uint32) bool { add(graph.VertexID(x)); return true })
+		cur, next = next, cur
+	}
+}
+
+// frontierSiblings is VC3 over the CSR: one union of the G-in rows of every
+// induced activity, then a single attribution sweep.
+func (e *Engine) frontierSiblings(coreSet *bitmap.Bitset, ad *adjacency, addV func(graph.VertexID, Rule)) {
+	if !ad.relOK[prov.RelGen] {
+		return
+	}
+	g := e.P.PG()
+	l := e.P.RelLabel(prov.RelGen)
+	if !g.LabelHasEdges(l, false) {
+		return
+	}
+	actLabel := e.P.KindLabel(prov.KindActivity)
+	genIn, _ := g.RelBlockView(l, false)
+	sibs := bitmap.NewBitset(e.P.NumVertices())
+	coreSet.Iterate(func(x uint32) bool {
+		if g.VertexLabel(graph.VertexID(x)) == actLabel {
+			orViewRow(sibs, genIn, graph.VertexID(x))
+		}
+		return true
+	})
+	sibs.Iterate(func(x uint32) bool { addV(graph.VertexID(x), RuleC3); return true })
+}
+
+// frontierAgents is VC4: union the S/A out-rows of every segment vertex,
+// iterated to fixpoint. Under the PROV schema agents carry no S/A
+// out-edges, so the second round is empty — the loop mirrors the scalar
+// walk's live iteration, which likewise visits agents appended ahead of its
+// cursor. vset is the segment's (mutable, growing via addV) vertex set.
+func (e *Engine) frontierAgents(vset *bitmap.Bitset, ad *adjacency, addV func(graph.VertexID, Rule)) {
+	g := e.P.PG()
+	var views []graph.RelView
+	for _, r := range []prov.Rel{prov.RelAssoc, prov.RelAttr} {
+		if ad.relOK[r] && g.LabelHasEdges(e.P.RelLabel(r), true) {
+			vw, _ := g.RelBlockView(e.P.RelLabel(r), true)
+			views = append(views, vw)
+		}
+	}
+	if len(views) == 0 {
+		return
+	}
+	cur := vset.Clone()
+	agents := bitmap.NewBitset(e.P.NumVertices())
+	for cur.Cardinality() > 0 {
+		agents.Clear()
+		for _, vw := range views {
+			cur.Iterate(func(x uint32) bool {
+				orViewRow(agents, vw, graph.VertexID(x))
+				return true
+			})
+		}
+		agents.AndNotWith(vset)
+		if agents.Cardinality() == 0 {
+			return
+		}
+		agents.Iterate(func(x uint32) bool { addV(graph.VertexID(x), RuleC4); return true })
+		cur, agents = agents, cur
+	}
+}
+
+// inducedEdgesVec enumerates ES per relation label: only non-excluded
+// blocks are read (the scalar path walks every vertex's mixed edge list and
+// filters per edge), and within a block each segment vertex contributes one
+// contiguous row scan. The ids are sorted at the end, like the scalar path,
+// so the result is identical.
+func (e *Engine) inducedEdgesVec(vs *bitmap.Bitset, ad *adjacency) []graph.EdgeID {
+	g := e.P.PG()
+	var out []graph.EdgeID
+	for r := prov.Rel(0); r <= prov.RelDeriv; r++ {
+		if !ad.relOK[r] {
+			continue
+		}
+		l := e.P.RelLabel(r)
+		if !g.LabelHasEdges(l, true) {
+			continue
+		}
+		vs.Iterate(func(x uint32) bool {
+			nbrs, eids, _ := g.FrozenNeighbors(graph.VertexID(x), l, true)
+			for i, d := range nbrs {
+				if vs.Contains(uint32(d)) {
+					out = append(out, eids[i])
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -45,17 +45,38 @@ func simulation(g *sumGraph, forward bool) []*bitmap.Bitset {
 		sim[v] = s
 	}
 
+	// Bucket each node's children per relation as bitsets so check's inner
+	// existential ("does some equally-labeled child of v land in sim(...)?")
+	// is one word-parallel Intersects instead of a nested arc scan. The
+	// predicate is unchanged, so the fixpoint — which is unique — is too.
+	maxRel := -1
+	for v := 0; v < n; v++ {
+		for _, arc := range succ[v] {
+			if int(arc.rel) > maxRel {
+				maxRel = int(arc.rel)
+			}
+		}
+	}
+	childBits := make([][]*bitmap.Bitset, maxRel+1)
+	for v := 0; v < n; v++ {
+		for _, arc := range succ[v] {
+			row := childBits[arc.rel]
+			if row == nil {
+				row = make([]*bitmap.Bitset, n)
+				childBits[arc.rel] = row
+			}
+			if row[v] == nil {
+				row[v] = bitmap.NewBitset(n)
+			}
+			row[v].Add(uint32(arc.to))
+		}
+	}
+
 	// check reports whether v still simulates u.
 	check := func(u, v int) bool {
 		for _, arc := range succ[u] {
-			found := false
-			for _, varc := range succ[v] {
-				if varc.rel == arc.rel && sim[arc.to].Contains(uint32(varc.to)) {
-					found = true
-					break
-				}
-			}
-			if !found {
+			cb := childBits[arc.rel][v]
+			if cb == nil || !sim[arc.to].Intersects(cb) {
 				return false
 			}
 		}

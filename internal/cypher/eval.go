@@ -99,6 +99,11 @@ type Options struct {
 	// MaxPathLen caps variable-length pattern expansion (0 = number of
 	// graph edges, i.e. effectively unbounded on a DAG).
 	MaxPathLen int
+	// NoPlanner disables the snapshot-aware prune planner and the
+	// per-label CSR row enumeration (see plan.go), forcing the naive DFS
+	// over mixed edge lists. Rows and their order are identical either
+	// way; the differential tests run both and diff.
+	NoPlanner bool
 }
 
 // ErrTimeout is returned when evaluation exceeds its deadline — the
@@ -316,9 +321,16 @@ func mineIDConstraints(e Expr) map[string][]graph.VertexID {
 }
 
 // expandPattern enumerates all bindings of one path pattern compatible with
-// an existing row.
+// an existing row. On frozen snapshots the planner's prune sets (plan.go)
+// cut enumeration branches that provably cannot complete; the surviving
+// rows and their order are identical to the unplanned DFS.
 func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][]graph.VertexID) ([]row, error) {
 	var out []row
+
+	plan := ev.planPattern(pat, base, seeds)
+	if plan != nil && plan.empty {
+		return nil, nil
+	}
 
 	// candidates for the first node.
 	first := pat.Nodes[0]
@@ -339,6 +351,11 @@ func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][
 	var expandRel func(ni int, hops int, rp RelPattern, cur graph.VertexID, r row) error
 
 	bindNode := func(np NodePattern, v graph.VertexID, r row) (row, bool) {
+		// Mined id(x) constraints can carry ids outside the graph; they
+		// bind nothing.
+		if int(v) >= ev.g.NumVertices() {
+			return nil, false
+		}
 		if np.Label != "" {
 			l, ok := ev.vertexLabel(np.Label)
 			if !ok || ev.g.VertexLabel(v) != l {
@@ -376,18 +393,6 @@ func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][
 		return expandRel(ni, 0, pat.Rels[ni], verts[len(verts)-1], r)
 	}
 
-	relMatches := func(rp RelPattern, e graph.EdgeID) bool {
-		if len(rp.Types) == 0 {
-			return true
-		}
-		for _, tn := range rp.Types {
-			if l, ok := ev.relLabel(tn); ok && ev.g.EdgeLabel(e) == l {
-				return true
-			}
-		}
-		return false
-	}
-
 	expandRel = func(ni, hops int, rp RelPattern, cur graph.VertexID, r row) error {
 		if err := ev.stepBudget(); err != nil {
 			return err
@@ -400,7 +405,7 @@ func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][
 				maxHops = maxLen
 			}
 		}
-		if hops >= minHops {
+		if hops >= minHops && plan.allowedOK(ni+1, cur) {
 			// Try to close the relationship at the current vertex (which
 			// is already the last element of verts).
 			nr, ok := bindNode(pat.Nodes[ni+1], cur, r)
@@ -414,6 +419,11 @@ func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][
 			return nil
 		}
 		step := func(e graph.EdgeID, nxt graph.VertexID) error {
+			// Planner prune: nxt provably on no admissible binding of this
+			// relationship.
+			if !plan.pathOK(ni, nxt) {
+				return nil
+			}
 			// Cypher relationship isomorphism: edges on a path are distinct.
 			for _, used := range edgesAcc {
 				if used == e {
@@ -428,27 +438,22 @@ func (ev *Evaluator) expandPattern(pat PathPattern, base row, seeds map[string][
 			return err
 		}
 		if rp.Dir == DirRight || rp.Dir == DirBoth {
-			for _, e := range ev.g.Out(cur) {
-				if relMatches(rp, e) {
-					if err := step(e, ev.g.Dst(e)); err != nil {
-						return err
-					}
-				}
+			if err := ev.iterRelEdges(cur, rp, true, step); err != nil {
+				return err
 			}
 		}
 		if rp.Dir == DirLeft || rp.Dir == DirBoth {
-			for _, e := range ev.g.In(cur) {
-				if relMatches(rp, e) {
-					if err := step(e, ev.g.Src(e)); err != nil {
-						return err
-					}
-				}
+			if err := ev.iterRelEdges(cur, rp, false, step); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
 
 	for _, v := range cands {
+		if !plan.allowedOK(0, v) {
+			continue
+		}
 		r, ok := bindNode(first, v, base)
 		if !ok {
 			continue

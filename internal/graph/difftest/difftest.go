@@ -179,9 +179,21 @@ func DiffSnapshots(full, incr *graph.Graph) error {
 	if fd.Len() != id.Len() {
 		return fmt.Errorf("dict length mismatch: %d vs %d", fd.Len(), id.Len())
 	}
+	fds, ids := full.Degrees(), incr.Degrees()
+	if fds == nil || ids == nil {
+		return fmt.Errorf("missing degree stats: full %v incr %v", fds != nil, ids != nil)
+	}
+	if fds.NumVertices() != ids.NumVertices() || fds.NumEdges() != ids.NumEdges() {
+		return fmt.Errorf("degree stats shape mismatch: full %d/%d vs incr %d/%d",
+			fds.NumVertices(), fds.NumEdges(), ids.NumVertices(), ids.NumEdges())
+	}
 	for l := 0; l < fd.Len(); l++ {
 		if fd.Name(graph.Label(l)) != id.Name(graph.Label(l)) {
 			return fmt.Errorf("dict[%d] mismatch: %q vs %q", l, fd.Name(graph.Label(l)), id.Name(graph.Label(l)))
+		}
+		if fds.EdgesWithLabel(graph.Label(l)) != ids.EdgesWithLabel(graph.Label(l)) {
+			return fmt.Errorf("degree stats for %q mismatch: full %d vs incr %d",
+				fd.Name(graph.Label(l)), fds.EdgesWithLabel(graph.Label(l)), ids.EdgesWithLabel(graph.Label(l)))
 		}
 		fv, iv := full.VerticesWithLabel(graph.Label(l)), incr.VerticesWithLabel(graph.Label(l))
 		if !vertexSlicesEq(fv, iv) {
@@ -228,6 +240,12 @@ func DiffSegments(fullP, incrP *prov.Graph, q core.Query) error {
 		}
 		return nil
 	}
+	return diffSegPair(fs, is)
+}
+
+// diffSegPair asserts two segments are identical in every externally
+// observable dimension: vertex set, edge set, rule attribution, support set.
+func diffSegPair(fs, is *core.Segment) error {
 	if !vertexSlicesEq(fs.Vertices, is.Vertices) {
 		return fmt.Errorf("segment vertices mismatch: %v vs %v", fs.Vertices, is.Vertices)
 	}

@@ -53,6 +53,32 @@ func TestProvScriptsDifferential(t *testing.T) {
 	t.Logf("%d scripts, %d incremental epochs", scripts, incremental)
 }
 
+// TestVectorizedScalarDifferential replays randomized scripts through
+// incremental snapshot chains and diffs the vectorized frontier engine and
+// the Cypher planner against their scalar counterparts at every epoch:
+// segments, ancestry closures and bounded pattern rows must be
+// bit-identical.
+func TestVectorizedScalarDifferential(t *testing.T) {
+	scripts, size, epochs, queries := 30, 150, 4, 3
+	if !testing.Short() {
+		scripts, size, epochs, queries = 80, 400, 6, 5
+	}
+	incremental := 0
+	for seed := 0; seed < scripts; seed++ {
+		res, err := CheckVecScript(int64(seed), size, epochs, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incremental += res.Incremental
+	}
+	// The vectorized engine must have been diffed over extended (two-
+	// segment) CSR blocks, not just fresh contiguous snapshots.
+	if incremental == 0 {
+		t.Fatal("no script epoch took the incremental freeze path")
+	}
+	t.Logf("%d scripts, %d incremental epochs", scripts, incremental)
+}
+
 // FuzzExtendFrozen lets the fuzzer hunt for divergent ingest scripts beyond
 // the fixed seed sweep.
 func FuzzExtendFrozen(f *testing.F) {
@@ -64,6 +90,19 @@ func FuzzExtendFrozen(f *testing.F) {
 			t.Fatal(err)
 		}
 		if _, err := CheckProvScript(seed, 80, 4, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzVecScalar hunts for scripts where the vectorized engines diverge from
+// the scalar reference beyond the fixed seed sweep.
+func FuzzVecScalar(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if _, err := CheckVecScript(seed, 100, 4, 2); err != nil {
 			t.Fatal(err)
 		}
 	})

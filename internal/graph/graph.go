@@ -141,6 +141,10 @@ type Graph struct {
 	frozen   bool
 	incrSnap bool
 	csr      *csrIndex
+	// degrees holds freeze-time per-label degree statistics (see stats.go);
+	// nil on live graphs. An incremental snapshot updates the previous
+	// epoch's stats by the delta, so they always equal a full rebuild's.
+	degrees *DegreeStats
 	// snapV/snapE are the high-watermarks of the largest snapshot taken
 	// from this live graph. Everything below them is shared with lock-free
 	// snapshot readers and must stay immutable: appends are naturally safe
@@ -300,6 +304,7 @@ func (g *Graph) VerticesWithLabel(label Label) []VertexID { return g.byLabel[lab
 // graph this is one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
 	if g.csr != nil {
+		hookRowRead(label, true)
 		return g.csr.rel(label, true).appendNbrs(v, buf)
 	}
 	for _, e := range g.out[v] {
@@ -315,6 +320,7 @@ func (g *Graph) OutNeighbors(v VertexID, label Label, buf []VertexID) []VertexID
 // one contiguous CSR row copy instead of an edge-list filter.
 func (g *Graph) InNeighbors(v VertexID, label Label, buf []VertexID) []VertexID {
 	if g.csr != nil {
+		hookRowRead(label, false)
 		return g.csr.rel(label, false).appendNbrs(v, buf)
 	}
 	for _, e := range g.in[v] {

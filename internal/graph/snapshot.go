@@ -403,6 +403,16 @@ func (g *Graph) ExtendFrozen(prev *Graph) (*Graph, bool) {
 		cs.inRel[l] = extendRel(pcs.rel(l, false), inDelta[l].build(), nv)
 	}
 	fz.csr = cs
+
+	// Degree stats: the previous epoch's counts plus the delta, label by
+	// label — exactly what a full recount over nv/ne would produce.
+	ds := prev.degrees.clone(nl)
+	ds.vertices = nv
+	ds.edges = ne
+	for e := pe; e < ne; e++ {
+		ds.labelEdges[g.eLabel[e]]++
+	}
+	fz.degrees = ds
 	return fz, true
 }
 
@@ -650,6 +660,13 @@ func (g *Graph) buildCSR(src *Graph, nv, ne int) {
 		ip[d]++
 	}
 	g.csr = cs
+
+	// Degree stats fall out of the per-label blocks already built.
+	ds := &DegreeStats{labelEdges: make([]int, nl), vertices: nv, edges: ne}
+	for l := 0; l < nl; l++ {
+		ds.labelEdges[l] = cs.outRel[l].edges()
+	}
+	g.degrees = ds
 }
 
 // FrozenNeighbors returns the CSR row for v's neighbors over edges with the
@@ -664,8 +681,93 @@ func (g *Graph) FrozenNeighbors(v VertexID, label Label, out bool) (nbrs []Verte
 	if g.csr == nil {
 		return nil, nil, false
 	}
+	hookRowRead(label, out)
 	nbrs, eids = g.csr.rel(label, out).row(v)
 	return nbrs, eids, true
+}
+
+// NeighborRowSegs returns v's neighbor row for the label/direction as up to
+// two zero-copy segments: base (the contiguous epoch's slice) and ext (the
+// sparse extension's slice, nil unless the block was incrementally
+// extended). Concatenated they equal FrozenNeighbors' nbrs — both segments
+// are in ascending edge-id order and every ext id is newer than every base
+// id — but nothing is materialized, which is what lets the frontier engine
+// OR a row straight into a bitset without the per-row allocation
+// FrozenNeighbors pays on extended blocks. ok is false on live graphs.
+// Returned slices must not be modified.
+func (g *Graph) NeighborRowSegs(v VertexID, label Label, out bool) (base, ext []VertexID, ok bool) {
+	if g.csr == nil {
+		return nil, nil, false
+	}
+	hookRowRead(label, out)
+	r := g.csr.rel(label, out)
+	if r == nil {
+		return nil, nil, true
+	}
+	if r.ext == nil {
+		base, _ = r.contiguousRow(v)
+		return base, nil, true
+	}
+	base, _ = r.base.contiguousRow(v)
+	ext, _ = r.ext.row(v)
+	return base, ext, true
+}
+
+// RelView is a zero-copy view of one (label, direction) CSR block, resolved
+// once so tight traversal loops can slice rows with two array indexes
+// instead of paying the per-row dispatch of NeighborRowSegs (hook load, rel
+// lookup, segment branch). Row(v) returns the same two segments
+// NeighborRowSegs would.
+type RelView struct {
+	off []uint32
+	nbr []VertexID
+	ext *csrExt
+}
+
+// Row returns v's neighbor row as up to two ascending-edge-id segments.
+func (rv RelView) Row(v VertexID) (base, ext []VertexID) {
+	if int(v)+1 < len(rv.off) {
+		a, b := rv.off[v], rv.off[v+1]
+		base = rv.nbr[a:b:b]
+	}
+	if rv.ext != nil {
+		ext, _ = rv.ext.row(v)
+	}
+	return base, ext
+}
+
+// RelBlockView resolves the (label, direction) block into a RelView. ok is
+// false on live graphs; a frozen graph with no such edges yields an empty
+// view (all rows nil). The row-read hook fires once per acquisition — block
+// granularity — so excluded-label instrumentation still observes every
+// block a traversal touches.
+func (g *Graph) RelBlockView(label Label, out bool) (RelView, bool) {
+	if g.csr == nil {
+		return RelView{}, false
+	}
+	hookRowRead(label, out)
+	r := g.csr.rel(label, out)
+	if r == nil {
+		return RelView{}, true
+	}
+	if r.ext == nil {
+		return RelView{off: r.off, nbr: r.nbr}, true
+	}
+	rv := RelView{ext: r.ext}
+	if r.base != nil {
+		rv.off, rv.nbr = r.base.off, r.base.nbr
+	}
+	return rv, true
+}
+
+// LabelHasEdges reports whether the snapshot has any edge with the label in
+// the given direction — a free pre-check that lets traversals skip a
+// label's block for the whole run.
+func (g *Graph) LabelHasEdges(label Label, out bool) bool {
+	if g.csr == nil {
+		return true // live graph: unknown, caller must scan
+	}
+	return g.csr.rel(label, out) != nil
 }
 
 // clone returns an independent copy of the dictionary whose reads are safe

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// countEdgesByLabel recounts per-label edges the slow way, from the columnar
+// arrays, as the ground truth for both snapshot paths.
+func countEdgesByLabel(g *Graph) []int {
+	counts := make([]int, g.Dict().Len())
+	for e := 0; e < g.NumEdges(); e++ {
+		counts[g.EdgeLabel(EdgeID(e))]++
+	}
+	return counts
+}
+
+func TestDegreeStatsFreeze(t *testing.T) {
+	g := randomGraph(200, 800, 11)
+	if g.Degrees() != nil {
+		t.Fatal("live graph must have nil degree stats")
+	}
+	fz := g.Freeze()
+	ds := fz.Degrees()
+	if ds == nil {
+		t.Fatal("frozen graph missing degree stats")
+	}
+	if ds.NumVertices() != 200 || ds.NumEdges() != 800 {
+		t.Fatalf("stats totals = (%d,%d), want (200,800)", ds.NumVertices(), ds.NumEdges())
+	}
+	want := countEdgesByLabel(g)
+	for l, n := range want {
+		if got := ds.EdgesWithLabel(Label(l)); got != n {
+			t.Errorf("label %d: EdgesWithLabel = %d, want %d", l, got, n)
+		}
+	}
+	// Out-of-range labels and the nil receiver are defined, not panics.
+	if ds.EdgesWithLabel(Label(200)) != 0 {
+		t.Error("out-of-range label must count 0")
+	}
+	var nilStats *DegreeStats
+	if nilStats.EdgesWithLabel(0) != 0 || nilStats.AvgDegree(0) != 0 || nilStats.NumVertices() != 0 {
+		t.Error("nil stats must read as empty")
+	}
+	wantAvg := float64(want[int(g.Dict().Intern("e:U"))]) / 200
+	if got := ds.AvgDegree(g.Dict().Intern("e:U")); got != wantAvg {
+		t.Errorf("AvgDegree = %v, want %v", got, wantAvg)
+	}
+}
+
+// TestDegreeStatsExtendFrozen drives an incremental snapshot chain and
+// checks that the delta-maintained stats equal a full rebuild's at every
+// epoch — including epochs that intern a brand-new edge label mid-chain.
+func TestDegreeStatsExtendFrozen(t *testing.T) {
+	g := randomGraph(300, 1200, 13)
+	prev, _ := g.ExtendFrozen(nil)
+	sawIncremental := false
+	for epoch := 0; epoch < 8; epoch++ {
+		grow(g, 10, 40, int64(epoch))
+		if epoch == 3 {
+			// A label the base epoch never saw: stats arrays must grow.
+			l := g.Dict().Intern(fmt.Sprintf("e:new%d", epoch))
+			g.AddEdge(0, 1, l)
+		}
+		next, inc := g.ExtendFrozen(prev)
+		sawIncremental = sawIncremental || inc
+		full := g.Freeze()
+		fds, xds := full.Degrees(), next.Degrees()
+		if fds.NumVertices() != xds.NumVertices() || fds.NumEdges() != xds.NumEdges() {
+			t.Fatalf("epoch %d: totals (%d,%d) vs full (%d,%d)", epoch,
+				xds.NumVertices(), xds.NumEdges(), fds.NumVertices(), fds.NumEdges())
+		}
+		for l := 0; l < g.Dict().Len(); l++ {
+			if fds.EdgesWithLabel(Label(l)) != xds.EdgesWithLabel(Label(l)) {
+				t.Fatalf("epoch %d label %d: incr %d vs full %d", epoch, l,
+					xds.EdgesWithLabel(Label(l)), fds.EdgesWithLabel(Label(l)))
+			}
+		}
+		prev = next
+	}
+	if !sawIncremental {
+		t.Fatal("chain never took the incremental path")
+	}
+}
+
+// TestNeighborRowSegs checks the zero-copy two-segment row accessor against
+// the materializing FrozenNeighbors on both full and extended snapshots.
+func TestNeighborRowSegs(t *testing.T) {
+	g := randomGraph(150, 600, 17)
+	check := func(t *testing.T, fz *Graph) {
+		t.Helper()
+		for v := 0; v < fz.NumVertices(); v++ {
+			id := VertexID(v)
+			for l := 0; l < fz.Dict().Len(); l++ {
+				for _, out := range []bool{true, false} {
+					wantN, _, _ := fz.FrozenNeighbors(id, Label(l), out)
+					base, ext, ok := fz.NeighborRowSegs(id, Label(l), out)
+					if !ok {
+						t.Fatal("NeighborRowSegs not ok on frozen graph")
+					}
+					got := append(append([]VertexID{}, base...), ext...)
+					if fmt.Sprint(got) != fmt.Sprint(wantN) {
+						t.Fatalf("v=%d l=%d out=%v: segs %v+%v != row %v", v, l, out, base, ext, wantN)
+					}
+				}
+			}
+		}
+	}
+	t.Run("full", func(t *testing.T) { check(t, g.Freeze()) })
+	t.Run("extended", func(t *testing.T) {
+		prev := g.Freeze()
+		grow(g, 5, 30, 3)
+		fz, inc := g.ExtendFrozen(prev)
+		if !inc {
+			t.Fatal("expected incremental snapshot")
+		}
+		check(t, fz)
+	})
+	// Live graphs report not-ok rather than guessing.
+	live := randomGraph(5, 5, 1)
+	if _, _, ok := live.NeighborRowSegs(0, 0, true); ok {
+		t.Fatal("NeighborRowSegs ok on live graph")
+	}
+}
+
+func TestRelView(t *testing.T) {
+	g := randomGraph(150, 600, 23)
+	check := func(t *testing.T, fz *Graph) {
+		t.Helper()
+		for l := 0; l < fz.Dict().Len(); l++ {
+			for _, out := range []bool{true, false} {
+				rv, ok := fz.RelBlockView(Label(l), out)
+				if !ok {
+					t.Fatal("RelBlockView not ok on frozen graph")
+				}
+				for v := 0; v < fz.NumVertices(); v++ {
+					id := VertexID(v)
+					wantN, _, _ := fz.FrozenNeighbors(id, Label(l), out)
+					base, ext := rv.Row(id)
+					got := append(append([]VertexID{}, base...), ext...)
+					if fmt.Sprint(got) != fmt.Sprint(wantN) {
+						t.Fatalf("v=%d l=%d out=%v: view %v+%v != row %v", v, l, out, base, ext, wantN)
+					}
+				}
+			}
+		}
+	}
+	t.Run("full", func(t *testing.T) { check(t, g.Freeze()) })
+	t.Run("extended", func(t *testing.T) {
+		prev := g.Freeze()
+		grow(g, 5, 30, 3)
+		fz, inc := g.ExtendFrozen(prev)
+		if !inc {
+			t.Fatal("expected incremental snapshot")
+		}
+		check(t, fz)
+	})
+	if _, ok := randomGraph(5, 5, 1).RelBlockView(0, true); ok {
+		t.Fatal("RelBlockView ok on live graph")
+	}
+}
+
+func TestRowReadHook(t *testing.T) {
+	g := randomGraph(50, 200, 19)
+	fz := g.Freeze()
+	type read struct {
+		l   Label
+		out bool
+	}
+	var reads []read
+	restore := SetRowReadHook(func(l Label, out bool) { reads = append(reads, read{l, out}) })
+	lu := fz.Dict().Intern("e:U")
+	fz.FrozenNeighbors(3, lu, true)
+	fz.NeighborRowSegs(4, lu, false)
+	fz.OutNeighbors(5, lu, nil)
+	fz.InNeighbors(6, lu, nil)
+	restore()
+	fz.FrozenNeighbors(3, lu, true) // after restore: unobserved
+	want := []read{{lu, true}, {lu, false}, {lu, true}, {lu, false}}
+	if fmt.Sprint(reads) != fmt.Sprint(want) {
+		t.Fatalf("hook observed %v, want %v", reads, want)
+	}
+	// Restoring twice (or racing a later hook) must not clear someone
+	// else's installation.
+	restore2 := SetRowReadHook(func(Label, bool) {})
+	restore()
+	fzReads := len(reads)
+	fz.FrozenNeighbors(3, lu, true)
+	if len(reads) != fzReads {
+		t.Fatal("stale restore cleared the active hook")
+	}
+	restore2()
+}
+
+func TestLabelHasEdges(t *testing.T) {
+	g := New()
+	lv := g.Dict().Intern("v:E")
+	le := g.Dict().Intern("e:U")
+	lunused := g.Dict().Intern("e:unused")
+	a := g.AddVertex(lv)
+	b := g.AddVertex(lv)
+	g.AddEdge(a, b, le)
+	fz := g.Freeze()
+	if !fz.LabelHasEdges(le, true) || !fz.LabelHasEdges(le, false) {
+		t.Fatal("label with edges reported empty")
+	}
+	if fz.LabelHasEdges(lunused, true) || fz.LabelHasEdges(lunused, false) {
+		t.Fatal("unused label reported non-empty")
+	}
+	if !g.LabelHasEdges(lunused, true) {
+		t.Fatal("live graph must report unknown (true)")
+	}
+}

@@ -661,6 +661,89 @@ func TestAdjustEndpoint(t *testing.T) {
 	}
 }
 
+// TestExcludedRelBlocksNeverRead pins the frontier engine's block-skip
+// contract at the HTTP surface: when a /segment or /adjust boundary
+// excludes relationship types, the excluded relations' CSR blocks are never
+// read — whole per-label blocks are dropped before adjacency is touched,
+// rather than edges being read and filtered after the fact.
+func TestExcludedRelBlocksNeverRead(t *testing.T) {
+	ts, store, ids := newTestServer(t)
+	p := store.Epoch().P
+
+	var mu sync.Mutex
+	reads := map[graph.Label]int{}
+	restore := graph.SetRowReadHook(func(l graph.Label, out bool) {
+		mu.Lock()
+		reads[l]++
+		mu.Unlock()
+	})
+	defer restore()
+	drainReads := func() map[graph.Label]int {
+		mu.Lock()
+		defer mu.Unlock()
+		got := reads
+		reads = map[graph.Label]int{}
+		return got
+	}
+
+	lU := p.RelLabel(prov.RelUsed)
+	lS := p.RelLabel(prov.RelAssoc)
+	lA := p.RelLabel(prov.RelAttr)
+
+	// A fresh (uncached) /segment under an S/A exclusion: the traversal must
+	// read U blocks but never the excluded agent-relation blocks.
+	seg := SegmentRequest{
+		Src:         []uint32{uint32(ids["dataset"])},
+		Dst:         []uint32{uint32(ids["report"])},
+		ExcludeRels: []string{"S", "A"},
+		NoCache:     true,
+	}
+	var segResp SegmentResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/segment", seg, &segResp); code != 200 {
+		t.Fatalf("segment: status %d", code)
+	}
+	got := drainReads()
+	if got[lU] == 0 {
+		t.Fatal("no U-block reads observed; hook not exercising the frozen path")
+	}
+	if got[lS] != 0 || got[lA] != 0 {
+		t.Fatalf("excluded S/A blocks were read during /segment: %v", got)
+	}
+	for _, v := range segResp.Vertices {
+		if v.Kind == "U" {
+			t.Fatalf("agent %d in an agent-excluded segment", v.ID)
+		}
+	}
+
+	// The same contract through /adjust: the (uncached) base resolves under
+	// its own S/A exclusion, then the edge-level refinement filters the
+	// result — no excluded block read end to end.
+	adj := AdjustRequest{
+		Segment: SegmentRequest{
+			Src:         []uint32{uint32(ids["dataset"])},
+			Dst:         []uint32{uint32(ids["model-v2"])},
+			ExcludeRels: []string{"S", "A"},
+		},
+		ExcludeRels: []string{"D"},
+	}
+	var adjResp SegmentResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/adjust", adj, &adjResp); code != 200 {
+		t.Fatalf("adjust: status %d", code)
+	}
+	got = drainReads()
+	if got[lU] == 0 {
+		t.Fatal("adjust resolved the base without reading any U block")
+	}
+	if got[lS] != 0 || got[lA] != 0 {
+		t.Fatalf("excluded S/A blocks were read during /adjust: %v", got)
+	}
+	for _, e := range adjResp.Edges {
+		if e.Rel == "S" || e.Rel == "A" || e.Rel == "D" {
+			t.Fatalf("excluded relation %s survived adjust", e.Rel)
+		}
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	ts, _, ids := newTestServer(t)
 	doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil)

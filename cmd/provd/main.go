@@ -20,6 +20,20 @@
 // recovered at boot even if not named in -stores. -in/-gen seed a fresh
 // default store only; restarting over existing state refuses them.
 //
+// When several durable stores share -data under -fsync always, their group
+// commits additionally share the fsync itself: a device-level coalescer
+// batches every store's staged groups into one flush per sync window
+// (syncfs(2) where available, parallel per-log fsyncs elsewhere), so a
+// multi-store daemon pays one device barrier per window instead of one per
+// store. -no-coalesce restores private per-store fsyncs.
+//
+// Admission control: -qos-rate/-qos-burst/-qos-concurrency/-qos-queue set
+// a default per-store admission policy (token-bucket rate limit, in-flight
+// cap, and a bound on staged-but-uncommitted ingest batches). Requests over
+// a limit are refused with 429 and a Retry-After hint instead of queuing,
+// so a hot store cannot starve its neighbors. Limits are adjustable per
+// store at runtime via the PUT /stores/{name} body.
+//
 // Endpoints (see internal/server; every store-scoped endpoint also exists
 // unprefixed against the store named "default"):
 //
@@ -87,6 +101,11 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background flush period with -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints per store (bounds log growth and restart replay)")
 	groupCommit := flag.Bool("group-commit", true, "amortize WAL fsyncs across concurrent ingest batches (one fsync per commit group instead of per batch)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable the device-level fsync coalescer (each store's group commits fsync their own log even when many stores share the data directory)")
+	qosRate := flag.Float64("qos-rate", 0, "per-store admission rate limit in requests/second (0 disables rate limiting; applies to every store, adjustable per store via PUT /stores/{name})")
+	qosBurst := flag.Int("qos-burst", 0, "per-store admission burst on top of -qos-rate (0 derives the burst from the rate)")
+	qosConcurrency := flag.Int("qos-concurrency", 0, "per-store cap on concurrently served requests (0 disables)")
+	qosQueue := flag.Int("qos-queue", 0, "per-store commit-queue depth at which ingest is refused with 429 instead of blocking (0 disables; max 256)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug (per-request and per-commit lines), info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value text")
 	slowMillis := flag.Int64("slow-ms", 500, "slow-query threshold in milliseconds (requests at or over it enter GET /debug/slow; 0 captures everything, negative disables)")
@@ -98,7 +117,13 @@ func main() {
 		log.Fatalf("provd: %v", err)
 	}
 
-	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit, logger)
+	qos := server.QoSConfig{
+		RatePerSec:    *qosRate,
+		Burst:         *qosBurst,
+		MaxConcurrent: *qosConcurrency,
+		MaxQueue:      *qosQueue,
+	}
+	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit, *noCoalesce, qos, logger)
 	if err != nil {
 		log.Fatalf("provd: %v", err)
 	}
@@ -217,7 +242,7 @@ func startDebugServer(addr string) error {
 
 // openRegistry builds the memory-only or durable store registry per the
 // flags.
-func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int, groupCommit bool, logger *slog.Logger) (*server.Registry, error) {
+func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int, fsync string, fsyncInterval time.Duration, checkpointEvery int, groupCommit, noCoalesce bool, qos server.QoSConfig, logger *slog.Logger) (*server.Registry, error) {
 	var extra []string
 	for _, name := range strings.Split(stores, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -229,6 +254,8 @@ func openRegistry(dataDir, stores, in string, genN int, seed int64, cacheCap int
 		CheckpointEvery: checkpointEvery,
 		CacheCap:        cacheCap,
 		NoGroupCommit:   !groupCommit,
+		NoCoalesce:      noCoalesce,
+		DefaultQoS:      qos,
 		Logger:          logger,
 	}
 	if dataDir != "" {

@@ -14,8 +14,8 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 12 {
-		t.Fatalf("want 12 panels, got %v", IDs())
+	if len(IDs()) != 13 {
+		t.Fatalf("want 13 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
@@ -23,16 +23,42 @@ func TestFigureRegistry(t *testing.T) {
 }
 
 // TestRunShardIngestTiny drives the sharded-ingest measurement core on a
-// miniature workload, group commit on and off: both must commit every
-// batch and report a positive rate.
+// miniature workload across the three commit modes — group commit with
+// the device coalescer, group commit with private fsyncs, and per-batch
+// fsync. All must commit every batch and report a positive rate.
 func TestRunShardIngestTiny(t *testing.T) {
-	for _, group := range []bool{true, false} {
-		rate, err := runShardIngest(2, 2, 12, group)
+	for _, mode := range []struct {
+		name              string
+		group, noCoalesce bool
+	}{
+		{"coalesced", true, false},
+		{"private", true, true},
+		{"per-batch", false, false},
+	} {
+		rate, err := runShardIngest(2, 2, 12, mode.group, mode.noCoalesce)
 		if err != nil {
-			t.Fatalf("group=%v: %v", group, err)
+			t.Fatalf("%s: %v", mode.name, err)
 		}
 		if rate <= 0 {
-			t.Fatalf("group=%v: rate %f", group, rate)
+			t.Fatalf("%s: rate %f", mode.name, rate)
+		}
+	}
+}
+
+// TestRunHotNeighborTiny runs the hot-neighbor measurement core with a
+// miniature shape, unthrottled and rate-limited: both must yield a
+// positive cold-store p99.
+func TestRunHotNeighborTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-neighbor probe pays real fsyncs")
+	}
+	for _, rate := range []float64{0, 50} {
+		p99, err := runHotNeighbor(2, 1, 5, rate)
+		if err != nil {
+			t.Fatalf("rate=%v: %v", rate, err)
+		}
+		if p99 <= 0 {
+			t.Fatalf("rate=%v: p99 %v", rate, p99)
 		}
 	}
 }

@@ -40,8 +40,10 @@ func shardWorkload(scale Scale) (writers, total int) {
 
 // runShardIngest drives total single-op ingest batches from `writers`
 // concurrent goroutines round-robined across nStores durable stores and
-// returns aggregate committed batches/sec.
-func runShardIngest(nStores, writers, total int, groupCommit bool) (float64, error) {
+// returns aggregate committed batches/sec. noCoalesce disables the
+// registry's device-level fsync coalescer (meaningful only with group
+// commit on).
+func runShardIngest(nStores, writers, total int, groupCommit, noCoalesce bool) (float64, error) {
 	dir, err := os.MkdirTemp("", "provbench-shard-")
 	if err != nil {
 		return 0, err
@@ -57,6 +59,7 @@ func runShardIngest(nStores, writers, total int, groupCommit bool) (float64, err
 		CheckpointEvery: 1 << 30, // keep checkpoint cost out of the series
 		CacheCap:        16,
 		NoGroupCommit:   !groupCommit,
+		NoCoalesce:      noCoalesce,
 	}, extra, nil)
 	if err != nil {
 		return 0, err
@@ -131,8 +134,8 @@ func FigShard(scale Scale) Figure {
 	}
 	for _, n := range []int{1, 2, 4} {
 		row := Row{X: fmt.Sprint(n), Cells: map[string]string{}}
-		grp, errG := runShardIngest(n, writers, total, true)
-		solo, errS := runShardIngest(n, writers, total, false)
+		grp, errG := runShardIngest(n, writers, total, true, false)
+		solo, errS := runShardIngest(n, writers, total, false, false)
 		switch {
 		case errG != nil:
 			row.Cells["group b/s"], row.Cells["speedup"] = "err", errG.Error()

@@ -93,6 +93,17 @@ type AdjustRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
+// StoreCreateRequest is the optional PUT /stores/{name} body. An empty
+// body keeps the store's current configuration (the original creation
+// API), so existing clients are unaffected.
+type StoreCreateRequest struct {
+	// QoS, when present, replaces the store's admission policy — on the
+	// store being created, or on an existing store (the PUT is the
+	// configuration surface as well as the creation one). A zero config
+	// removes all limits.
+	QoS *QoSConfig `json:"qos,omitempty"`
+}
+
 // StoreCreateResponse is the PUT /stores/{name} reply.
 type StoreCreateResponse struct {
 	Store string `json:"store"`
@@ -100,6 +111,9 @@ type StoreCreateResponse struct {
 	// already existed; the PUT is idempotent).
 	Created bool   `json:"created"`
 	Epoch   uint64 `json:"epoch"`
+	// QoS echoes the store's admission policy after this request (zero
+	// when unlimited).
+	QoS QoSConfig `json:"qos"`
 }
 
 // StoreInfo is one store's headline state in the GET /stores listing.
@@ -141,6 +155,10 @@ type MetricsResponse struct {
 	// (enqueue = group-commit queue wait, append = WAL write, fsync,
 	// publish); empty until the store has committed through a stage.
 	Stages map[string]obs.LatencySummary `json:"stages"`
+	// QoS is the admission-control panel: the active limits, the
+	// admitted/rejected split (rejections by cause), and the in-flight /
+	// commit-queue-depth pressure gauges.
+	QoS QoSStats `json:"qos"`
 }
 
 // SlowResponse is the GET /debug/slow payload: the bounded in-memory ring

@@ -42,6 +42,12 @@ type DurableOptions struct {
 	// the member epochs in order — the fsync cost amortizes across writers
 	// while a batch still never becomes visible before it is durable.
 	NoGroupCommit bool
+	// Coalescer, when non-nil, shares the fsync phase of group commits
+	// across stores: the committer appends its group unsynced and waits on
+	// a device-level sync window instead of fsyncing its own log (see
+	// wal.Coalescer). Only honored under group commit with the SyncAlways
+	// policy — the other policies don't fsync on the commit path at all.
+	Coalescer *wal.Coalescer
 	// Logger, when non-nil, receives a Debug-level structured line per
 	// published commit (store, epoch, request id, group size).
 	Logger *slog.Logger
@@ -123,6 +129,14 @@ func OpenDurable(opts DurableOptions, seed func() (*prov.Graph, error)) (*Store,
 		s.commitCh = make(chan *commitReq, commitQueueCap)
 		s.commitStop = make(chan struct{})
 		s.commitDone = make(chan struct{})
+		if opts.Fsync == wal.SyncAlways {
+			s.coal = opts.Coalescer
+		}
+		if s.coal != nil {
+			s.syncQ = make(chan *syncJob, commitQueueCap)
+			s.syncDone = make(chan struct{})
+			go s.syncLoop()
+		}
 		go s.commitLoop()
 	}
 	go s.checkpointLoop()
@@ -185,22 +199,41 @@ func (s *Store) checkpointNow() error {
 
 // Close stops the checkpointer, writes a final checkpoint when the log has
 // grown since the last one (so the next start replays nothing), and seals
-// the write-ahead log. No-op on memory-only stores; Update must not race
-// with Close.
+// the write-ahead log. No-op on memory-only stores.
+//
+// Close is safe to race with Update: it first marks the store closed under
+// the write mutex, so every write that had already passed the closed check
+// is fully staged by the time the mark lands (staging happens under the
+// same mutex) and every later write is refused with ErrStoreClosed. The
+// committer is then stopped — its stop branch drains the queue, so each
+// staged batch is made durable, published, and acknowledged before the
+// final checkpoint runs. Nothing deadlocks and no acknowledged (or even
+// staged) batch is stranded.
 func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
 	}
 	var err error
 	s.closeOnce.Do(func() {
+		s.writeMu.Lock()
+		s.closed = true
+		s.writeMu.Unlock()
 		close(s.stopCh)
 		<-s.ckptDone
 		if s.commitStop != nil {
 			// Stop the committer after the checkpointer: a checkpoint in
-			// flight may be waiting on the committer's publishes. Close never
-			// races Update, so the queue drains and snap catches the tail.
+			// flight may be waiting on the committer's publishes. New writes
+			// are already refused, so the queue drains and snap catches the
+			// tail.
 			close(s.commitStop)
 			<-s.commitDone
+			if s.syncQ != nil {
+				// The committer has drained its queue into the sync
+				// pipeline; close it and wait for the last barriers and
+				// publishes before the final checkpoint reads the tail.
+				close(s.syncQ)
+				<-s.syncDone
+			}
 		}
 		if s.sinceCkpt.Load() > 0 {
 			if cerr := s.checkpointNow(); cerr != nil {
@@ -221,6 +254,9 @@ type DurabilityStats struct {
 	SinceCheckpoint    int64            `json:"since_checkpoint"`
 	CheckpointFailures uint64           `json:"checkpoint_failures"`
 	GroupCommit        GroupCommitStats `json:"group_commit"`
+	// Coalescer reports the shared device-level sync windows this store
+	// commits through (nil when the store fsyncs its own log).
+	Coalescer *wal.CoalescerStats `json:"coalescer,omitempty"`
 }
 
 // GroupCommitStats is the /metrics group-commit panel: how staged batches
@@ -231,11 +267,15 @@ type DurabilityStats struct {
 // the average amortization factor; it approaches the writer concurrency
 // under load.
 type GroupCommitStats struct {
-	Enabled             bool   `json:"enabled"`
-	Groups              uint64 `json:"groups"`
-	Records             uint64 `json:"records"`
-	Last                int64  `json:"last_size"`
-	Max                 int64  `json:"max_size"`
+	Enabled bool   `json:"enabled"`
+	Groups  uint64 `json:"groups"`
+	Records uint64 `json:"records"`
+	Last    int64  `json:"last_size"`
+	Max     int64  `json:"max_size"`
+	// CoalescedGroups counts groups retired through a shared device-level
+	// sync window rather than a private fsync (== Groups when the registry
+	// coalescer is active for this store).
+	CoalescedGroups     uint64 `json:"coalesced_groups"`
 	QueueWaitLastNanos  int64  `json:"queue_wait_last_ns"`
 	QueueWaitMaxNanos   int64  `json:"queue_wait_max_ns"`
 	QueueWaitTotalNanos int64  `json:"queue_wait_total_ns"`
@@ -247,7 +287,7 @@ func (s *Store) DurabilityStatsSnapshot() *DurabilityStats {
 	if s.wal == nil {
 		return nil
 	}
-	return &DurabilityStats{
+	ds := &DurabilityStats{
 		ManagerStats:       s.wal.StatsSnapshot(),
 		CheckpointEvery:    s.checkpointEvery,
 		SinceCheckpoint:    s.sinceCkpt.Load(),
@@ -258,9 +298,15 @@ func (s *Store) DurabilityStatsSnapshot() *DurabilityStats {
 			Records:             s.groupRecords.Load(),
 			Last:                s.groupLast.Load(),
 			Max:                 s.groupMax.Load(),
+			CoalescedGroups:     s.coalesced.Load(),
 			QueueWaitLastNanos:  s.queueWaitLastNs.Load(),
 			QueueWaitMaxNanos:   s.queueWaitMaxNs.Load(),
 			QueueWaitTotalNanos: s.queueWaitTotalNs.Load(),
 		},
 	}
+	if s.coal != nil {
+		cs := s.coal.StatsSnapshot()
+		ds.Coalescer = &cs
+	}
+	return ds
 }

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -191,6 +193,144 @@ func TestUpdatePanicReleasesWriteMutex(t *testing.T) {
 		}
 		defer s.Close()
 		run(t, s)
+	})
+}
+
+// TestCloseUnderLoad races Close against a full complement of group-commit
+// writers: Close must neither deadlock nor strand a staged batch — every
+// writer either commits (and the commit survives the restart) or is refused
+// with ErrStoreClosed, and the recovered epoch equals the exact number of
+// acknowledged commits. Run twice: a bare durable store, and a multi-store
+// registry whose committers share the fsync coalescer.
+func TestCloseUnderLoad(t *testing.T) {
+	const writersN = 4
+
+	// spin launches writersN writers looping Updates until the store refuses
+	// them; n counts acknowledged commits.
+	spin := func(t *testing.T, s *Store, label string, n *atomic.Uint64, wg *sync.WaitGroup) {
+		for w := 0; w < writersN; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					err := s.Update(func(rec *prov.Recorder) error {
+						rec.Snapshot(fmt.Sprintf("%s-%d-%d", label, w, i))
+						return nil
+					})
+					if err != nil {
+						if !errors.Is(err, ErrStoreClosed) {
+							t.Errorf("%s writer %d: %v (want ErrStoreClosed)", label, w, err)
+						}
+						return
+					}
+					n.Add(1)
+				}
+			}()
+		}
+	}
+	waitFor := func(t *testing.T, n *atomic.Uint64, min uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for n.Load() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("writers stalled at %d commits", n.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	closeWithin := func(t *testing.T, what string, fn func() error) {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() { done <- fn() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s under load: %v", what, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s deadlocked against in-flight writers", what)
+		}
+	}
+
+	t.Run("store", func(t *testing.T) {
+		dir := t.TempDir()
+		s, _, err := OpenDurable(DurableOptions{Dir: dir, CheckpointEvery: 1 << 30, CacheCap: 8}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var committed atomic.Uint64
+		var wg sync.WaitGroup
+		spin(t, s, "cul", &committed, &wg)
+		waitFor(t, &committed, 8) // close mid-flight, not before the ramp
+		closeWithin(t, "Close", s.Close)
+		wg.Wait() // every writer observed ErrStoreClosed (or already exited)
+
+		if err := s.Update(func(rec *prov.Recorder) error { return nil }); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("update after Close: %v, want ErrStoreClosed", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+
+		// Durability is exact: the acknowledged count IS the recovered epoch
+		// (no commit lost, no unacknowledged batch published).
+		n := committed.Load()
+		s2, rcv, err := OpenDurable(DurableOptions{Dir: dir, CacheCap: 8}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		if rcv.Epoch != n || s2.Epoch().N != n || s2.Epoch().Vertices != int(n) {
+			t.Fatalf("recovered epoch %d (%d vertices), want %d acknowledged commits",
+				rcv.Epoch, s2.Epoch().Vertices, n)
+		}
+	})
+
+	t.Run("registry", func(t *testing.T) {
+		dir := t.TempDir()
+		opts := RegistryOptions{DataDir: dir, CheckpointEvery: 1 << 30, CacheCap: 8}
+		reg, _, err := OpenRegistry(opts, []string{"hot"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Coalescer() == nil {
+			t.Fatal("durable fsync-always registry built no coalescer")
+		}
+		names := []string{DefaultStore, "hot"}
+		counts := make(map[string]*atomic.Uint64, len(names))
+		var wg sync.WaitGroup
+		for _, name := range names {
+			s, err := reg.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[name] = new(atomic.Uint64)
+			spin(t, s, name, counts[name], &wg)
+		}
+		for _, name := range names {
+			waitFor(t, counts[name], 8)
+		}
+		closeWithin(t, "registry Close", reg.Close)
+		wg.Wait()
+		if cs := reg.Coalescer().StatsSnapshot(); cs.Requests == 0 {
+			t.Error("no group commit went through the shared coalescer")
+		}
+
+		reg2, _, err := OpenRegistry(opts, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reg2.Close()
+		for _, name := range names {
+			s, err := reg2.Get(name)
+			if err != nil {
+				t.Fatalf("store %q not recovered: %v", name, err)
+			}
+			if n := counts[name].Load(); s.Epoch().N != n {
+				t.Errorf("store %q recovered epoch %d, want %d acknowledged commits", name, s.Epoch().N, n)
+			}
+		}
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -46,6 +47,108 @@ func doJSONWithID(t *testing.T, method, url, reqID string, body, out any) (int, 
 		}
 	}
 	return resp.StatusCode, resp.Header.Get("X-Request-ID")
+}
+
+// TestQoSRejectionObservability proves admission rejections are first-class
+// citizens of the observability pipeline: a 429 echoes the client's request
+// id, carries a delay-seconds Retry-After, lands in the endpoint's
+// status-class counters AND its latency histogram (so the hammer's
+// totals == class-sum == histogram-count reconciliation stays exact under
+// throttling), and shows up in the /metrics qos panel — while the exempt
+// metrics/healthz endpoints keep answering on the throttled store.
+func TestQoSRejectionObservability(t *testing.T) {
+	reg, _, err := OpenRegistry(RegistryOptions{CacheCap: 8}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(NewMultiServer(reg))
+	defer ts.Close()
+	st := reg.Default()
+	// One request per 10s, burst 1: the first /stats conforms, everything
+	// after is a deterministic 429 for the remainder of the test.
+	if err := st.SetQoS(QoSConfig{RatePerSec: 0.1, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, echoed := doJSONWithID(t, http.MethodGet, ts.URL+"/stats", "qos-ok", nil, nil)
+	if code != http.StatusOK || echoed != "qos-ok" {
+		t.Fatalf("first request: status %d, id %q", code, echoed)
+	}
+	const rejects = 3
+	for i := 0; i < rejects; i++ {
+		id := fmt.Sprintf("qos-rej-%d", i)
+		var errResp ErrorResponse
+		code, echoed := doJSONWithID(t, http.MethodGet, ts.URL+"/stats", id, nil, &errResp)
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("throttled request %d: status %d, want 429", i, code)
+		}
+		if echoed != id {
+			t.Fatalf("429 %d echoed id %q, want %q", i, echoed, id)
+		}
+		if errResp.Error == "" {
+			t.Fatalf("429 %d carried no JSON error envelope", i)
+		}
+	}
+	// Raw request for the headers doJSONWithID does not surface: Retry-After
+	// must be delay-seconds (an integer >= 1, within the 10s refill).
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "qos-rej-raw")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("raw throttled request: status %d", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 10 {
+		t.Fatalf("Retry-After %q, want an integer in [1,10]", resp.Header.Get("Retry-After"))
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "qos-rej-raw" {
+		t.Fatalf("raw 429 echoed id %q", got)
+	}
+
+	// The exempt endpoints answer regardless — they are how a throttled
+	// store is observed.
+	for _, path := range []string{"/metrics", "/healthz"} {
+		if code := doJSON(t, http.MethodGet, ts.URL+path, nil, &struct{}{}); code != http.StatusOK {
+			t.Fatalf("exempt %s on a throttled store: status %d", path, code)
+		}
+	}
+
+	// Exact reconciliation, including the rejections: classes and latency
+	// record on completion, so poll briefly as the hammer does.
+	const totalStats = 1 + rejects + 1 // the OK + the loop's 429s + the raw 429
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ep := st.EndpointStatsSnapshot()["stats"]
+		if ep.Total == totalStats && ep.Total == ep.OK+ep.ClientErr+ep.ServerErr && ep.Latency.Count == totalStats {
+			if ep.OK != 1 || ep.ClientErr != rejects+1 {
+				t.Fatalf("stats classes: %+v, want 1 OK / %d client errors", ep, rejects+1)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("429s never reconciled into the endpoint counters: %+v", ep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var m MetricsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.QoS.Admitted != 1 || m.QoS.RejectedRate != rejects+1 || m.QoS.Rejected != rejects+1 {
+		t.Fatalf("qos panel: %+v", m.QoS)
+	}
+	if m.QoS.Config.RatePerSec != 0.1 {
+		t.Fatalf("qos panel config: %+v", m.QoS.Config)
+	}
 }
 
 // TestObservabilityHammer drives mixed load — successful ingest with

@@ -25,6 +25,8 @@ import (
 //	provd_cache_*{store}, provd_freeze_*{store}          cache / freeze panels
 //	provd_wal_*{store}, provd_checkpoint_*{store}        durability panels
 //	provd_group_commit_*{store}                          group-commit panel
+//	provd_qos_*{store}                                   admission control
+//	provd_coalescer_*{store}                             shared sync windows
 //	provd_slow_queries_total                             slow-ring admissions
 //
 // Quantile gauges are derived from the same log-spaced buckets Prometheus
@@ -38,6 +40,23 @@ func (s *Server) writePrometheus(w http.ResponseWriter, stores []*Store) {
 	}
 	m.Header("provd_slow_queries_total", "Requests admitted to the slow-query ring since start.", "counter")
 	m.Sample("provd_slow_queries_total", nil, float64(s.slow.Total()))
+	// The coalescer is registry-wide (one per data directory), so its
+	// series carry no store label — summing a per-store copy would
+	// over-count the shared windows.
+	if c := s.reg.Coalescer(); c != nil {
+		co := c.StatsSnapshot()
+		mode := obs.Label{Name: "mode", Value: co.Mode}
+		m.Header("provd_coalescer_windows_total", "Device-level sync windows retired across all stores.", "counter")
+		m.Sample("provd_coalescer_windows_total", []obs.Label{mode}, float64(co.Windows))
+		m.Header("provd_coalescer_requests_total", "Per-store sync requests coalesced into windows.", "counter")
+		m.Sample("provd_coalescer_requests_total", []obs.Label{mode}, float64(co.Requests))
+		m.Header("provd_coalescer_last_window_size", "Size of the most recent sync window.", "gauge")
+		m.Sample("provd_coalescer_last_window_size", nil, float64(co.LastWindowSize))
+		m.Header("provd_coalescer_max_window_size", "Largest sync window so far.", "gauge")
+		m.Sample("provd_coalescer_max_window_size", nil, float64(co.MaxWindowSize))
+		m.Header("provd_coalescer_sync_seconds_total", "Cumulative time retiring sync windows.", "counter")
+		m.Sample("provd_coalescer_sync_seconds_total", []obs.Label{mode}, float64(co.SyncTotalNanos)/1e9)
+	}
 }
 
 // statusClassLabels maps endpointMetrics.classes indices to the class label.
@@ -108,6 +127,22 @@ func writeStoreProm(m *obs.MetricWriter, st *Store) {
 	m.Header("provd_freeze_max_seconds", "Longest freeze so far.", "gauge")
 	m.Sample("provd_freeze_max_seconds", []obs.Label{store}, float64(fz.MaxNanos)/1e9)
 
+	qos := st.QoSStatsSnapshot()
+	m.Header("provd_qos_admitted_total", "Requests past admission control.", "counter")
+	m.Sample("provd_qos_admitted_total", []obs.Label{store}, float64(qos.Admitted))
+	m.Header("provd_qos_rejected_total", "Requests rejected by admission control, by cause (rate, concurrency, queue).", "counter")
+	m.Sample("provd_qos_rejected_total", []obs.Label{store, {Name: "cause", Value: "rate"}}, float64(qos.RejectedRate))
+	m.Sample("provd_qos_rejected_total", []obs.Label{store, {Name: "cause", Value: "concurrency"}}, float64(qos.RejectedConcurrency))
+	m.Sample("provd_qos_rejected_total", []obs.Label{store, {Name: "cause", Value: "queue"}}, float64(qos.RejectedQueue))
+	m.Header("provd_qos_inflight", "Requests currently in flight (0 without a concurrency cap).", "gauge")
+	m.Sample("provd_qos_inflight", []obs.Label{store}, float64(qos.Inflight))
+	m.Header("provd_qos_queue_depth", "Batches staged on the commit queue.", "gauge")
+	m.Sample("provd_qos_queue_depth", []obs.Label{store}, float64(qos.QueueDepth))
+	m.Header("provd_qos_rate_limit", "Configured rate limit in requests/second (0 = unlimited).", "gauge")
+	m.Sample("provd_qos_rate_limit", []obs.Label{store}, qos.Config.RatePerSec)
+	m.Header("provd_qos_max_concurrent", "Configured concurrency cap (0 = unlimited).", "gauge")
+	m.Sample("provd_qos_max_concurrent", []obs.Label{store}, float64(qos.Config.MaxConcurrent))
+
 	ds := st.DurabilityStatsSnapshot()
 	if ds == nil {
 		return
@@ -154,6 +189,8 @@ func writeStoreProm(m *obs.MetricWriter, st *Store) {
 	m.Sample("provd_group_commit_queue_wait_max_seconds", []obs.Label{store}, float64(gc.QueueWaitMaxNanos)/1e9)
 	m.Header("provd_group_commit_queue_wait_seconds_total", "Cumulative queue wait across all group members.", "counter")
 	m.Sample("provd_group_commit_queue_wait_seconds_total", []obs.Label{store}, float64(gc.QueueWaitTotalNanos)/1e9)
+	m.Header("provd_group_commit_coalesced_total", "Groups retired through a shared device-level sync window.", "counter")
+	m.Sample("provd_group_commit_coalesced_total", []obs.Label{store}, float64(gc.CoalescedGroups))
 }
 
 // writeProm renders one endpoint's counters: the routed total, the

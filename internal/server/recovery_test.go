@@ -507,6 +507,164 @@ func TestKillReplayGroupCommit(t *testing.T) {
 	victim.Close()
 }
 
+// TestKillReplayCoalescedMultiStore extends the kill-replay harness across
+// the device-level fsync coalescer: two stores commit multi-writer groups
+// whose fsync phase rides shared sync windows, and each store's log is then
+// cut at every record boundary, torn-header neighbor and mid-record byte.
+// Coalescing shares the BARRIER, never the logs — so each store must still
+// recover to an exact prefix of its own publish order, exactly as it would
+// with a private fsync, no matter where in a coalesced window the cut falls.
+func TestKillReplayCoalescedMultiStore(t *testing.T) {
+	const (
+		writersK = 3
+		rounds   = 3
+	)
+	root := t.TempDir()
+	coal, err := wal.NewCoalescer(root, wal.CoalesceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coal.Close()
+	names := []string{"alpha", "beta"}
+	victims := make([]*Store, len(names))
+	for i, name := range names {
+		s, rcv, err := OpenDurable(DurableOptions{
+			Dir:             filepath.Join(root, name),
+			CheckpointEvery: 1 << 30,
+			CacheCap:        16,
+			Coalescer:       coal,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rcv.Fresh || !s.GroupCommit() {
+			t.Fatalf("store %s: fresh=%v group=%v", name, rcv.Fresh, s.GroupCommit())
+		}
+		s.commitHold = make(chan struct{})
+		victims[i] = s
+	}
+
+	// Each round stages writersK batches on EVERY store, then releases all
+	// the holds back-to-back so the committers' deferred syncs land in the
+	// coalescer together and can share device windows.
+	for r := 0; r < rounds; r++ {
+		dones := make([]chan error, len(victims))
+		for i, s := range victims {
+			i, r := i, r
+			dones[i] = make(chan error, writersK)
+			stageWriters(t, s, writersK, dones[i], func(w int, rec *prov.Recorder) {
+				rec.Import("alice", fmt.Sprintf("%s-art-r%d-w%d", names[i], r, w), "http://x")
+			})
+		}
+		for _, s := range victims {
+			s.commitHold <- struct{}{}
+		}
+		for i := range victims {
+			for w := 0; w < writersK; w++ {
+				if err := <-dones[i]; err != nil {
+					t.Fatalf("round %d store %s: %v", r, names[i], err)
+				}
+			}
+		}
+	}
+	for i, s := range victims {
+		gs := s.DurabilityStatsSnapshot().GroupCommit
+		if gs.Groups != rounds || gs.CoalescedGroups != rounds {
+			t.Fatalf("store %s: %d of %d groups coalesced: %+v", names[i], gs.CoalescedGroups, gs.Groups, gs)
+		}
+	}
+	cs := coal.StatsSnapshot()
+	if cs.Requests != uint64(len(names)*rounds) || cs.Windows == 0 || cs.Windows > cs.Requests {
+		t.Fatalf("coalescer accounting: %+v, want %d requests over >=1 windows", cs, len(names)*rounds)
+	}
+
+	// Cut each store's log independently (a crash freezes both logs at one
+	// instant, but recovery is per-store, so per-store cut coverage covers
+	// every joint crash image).
+	activeLog := "wal-" + fmt.Sprintf("%016x", 0) + ".log"
+	caseRoot := t.TempDir()
+	caseID := 0
+	for i, name := range names {
+		srcDir := filepath.Join(root, name)
+		walData, err := os.ReadFile(filepath.Join(srcDir, activeLog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds := walRecordBoundaries(walData)
+		if len(bounds) != writersK*rounds+1 {
+			t.Fatalf("store %s: log holds %d records, want %d", name, len(bounds)-1, writersK*rounds)
+		}
+		var payloads [][]byte
+		if _, err := wal.ReplayFile(filepath.Join(srcDir, activeLog), func(epoch uint64, payload []byte) error {
+			if epoch != uint64(len(payloads)+1) {
+				return fmt.Errorf("log epoch %d at position %d", epoch, len(payloads))
+			}
+			payloads = append(payloads, append([]byte(nil), payload...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		refAt := func(n int) (*prov.Graph, *prov.Recorder) {
+			t.Helper()
+			g := prov.New()
+			rec := prov.WrapRecorder(g)
+			for _, p := range payloads[:n] {
+				first := g.PG().NumVertices()
+				if err := g.PG().ApplyDelta(bytes.NewReader(p)); err != nil {
+					t.Fatalf("reference delta: %v", err)
+				}
+				rec.IndexFrom(graph.VertexID(first))
+			}
+			return g.Freeze(), rec
+		}
+		var artifacts []string
+		for r := 0; r < rounds; r++ {
+			for w := 0; w < writersK; w++ {
+				artifacts = append(artifacts, fmt.Sprintf("%s-art-r%d-w%d", name, r, w))
+			}
+		}
+
+		cuts := map[int]bool{0: true, len(walData): true}
+		for j, b := range bounds {
+			cuts[int(b)] = true
+			if int(b)+1 <= len(walData) {
+				cuts[int(b)+1] = true
+			}
+			if j+1 < len(bounds) {
+				cuts[int((b+bounds[j+1])/2)] = true
+			}
+		}
+		for cut := range cuts {
+			caseID++
+			s, rcv := openRecoveredAt(t, srcDir, activeLog, walData, cut, filepath.Join(caseRoot, fmt.Sprintf("m%d", caseID)))
+			wantR := 0
+			for _, b := range bounds[1:] {
+				if int64(cut) >= b {
+					wantR++
+				}
+			}
+			if got := int(s.Epoch().N); got != wantR {
+				t.Fatalf("store %s cut %d: recovered epoch %d, want %d (prefix of the publish order)", name, cut, got, wantR)
+			}
+			if rcv.Replayed != wantR {
+				t.Fatalf("store %s cut %d: recovery report %+v", name, cut, rcv)
+			}
+			refP, refRec := refAt(wantR)
+			// Absent artifacts compare equal on both sides, so the full name
+			// list is safe at every prefix.
+			if err := diffStores(refP, refRec, s, artifacts, []string{"alice"}); err != nil {
+				t.Fatalf("store %s cut %d (epoch %d): %v", name, cut, wantR, err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("store %s cut %d: close: %v", name, cut, err)
+			}
+		}
+		if err := victims[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestKillReplayAcrossCheckpoints crashes a run that checkpointed mid-way:
 // recovery must chain the newest checkpoint with the log tail, and cuts in
 // the active log must land on checkpoint-or-later epochs.

@@ -71,6 +71,17 @@ type RegistryOptions struct {
 	SyncInterval    time.Duration
 	CheckpointEvery int
 	NoGroupCommit   bool
+	// NoCoalesce disables the registry-wide fsync coalescer, leaving each
+	// store's committer to fsync its own log. By default (group commit +
+	// SyncAlways on a durable registry) all stores share device-level sync
+	// windows — one flush per window instead of one per store — which is
+	// what keeps the group-commit speedup from collapsing as stores are
+	// added (see wal.Coalescer).
+	NoCoalesce bool
+	// DefaultQoS is the admission policy every opened or created store
+	// starts with (zero = no limits); PUT /stores/{name} can override it
+	// per store.
+	DefaultQoS QoSConfig
 	// CacheCap bounds each store's segment cache (entries).
 	CacheCap int
 	// Logger, when non-nil, receives each store's per-commit Debug lines.
@@ -93,6 +104,10 @@ type Registry struct {
 	// shards never stalls behind a slow disk.
 	createMu sync.Mutex
 
+	// coal is the registry-wide fsync coalescer durable stores commit
+	// through (nil when disabled or memory-only). Closed after the stores.
+	coal *wal.Coalescer
+
 	mu     sync.RWMutex
 	stores map[string]*Store
 	closed bool
@@ -104,7 +119,20 @@ type Registry struct {
 // DataDir subdirectory already holding state is recovered even if unnamed
 // here. Returns the per-store recovery reports, default store first.
 func OpenRegistry(opts RegistryOptions, extra []string, seed func() (*prov.Graph, error)) (*Registry, []StoreRecovery, error) {
+	if err := opts.DefaultQoS.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("registry: %w", err)
+	}
 	r := &Registry{opts: opts, stores: make(map[string]*Store)}
+	if opts.DataDir != "" && !opts.NoGroupCommit && !opts.NoCoalesce && opts.Fsync == wal.SyncAlways {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		c, err := wal.NewCoalescer(opts.DataDir, wal.CoalesceAuto)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.coal = c
+	}
 	names := []string{DefaultStore}
 	seen := map[string]bool{DefaultStore: true}
 	add := func(name string) error {
@@ -217,6 +245,7 @@ func (r *Registry) open(name string, seed func() (*prov.Graph, error)) (*Store, 
 		s := NewStore(p, r.opts.CacheCap)
 		s.name = name
 		s.logger = r.opts.Logger
+		_ = s.SetQoS(r.opts.DefaultQoS) // validated at OpenRegistry
 		return s, &wal.Recovery{Fresh: true}, nil
 	}
 	s, rcv, err := OpenDurable(DurableOptions{
@@ -226,12 +255,14 @@ func (r *Registry) open(name string, seed func() (*prov.Graph, error)) (*Store, 
 		CheckpointEvery: r.opts.CheckpointEvery,
 		CacheCap:        r.opts.CacheCap,
 		NoGroupCommit:   r.opts.NoGroupCommit,
+		Coalescer:       r.coal,
 		Logger:          r.opts.Logger,
 	}, seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	s.name = name
+	_ = s.SetQoS(r.opts.DefaultQoS) // validated at OpenRegistry
 	return s, rcv, nil
 }
 
@@ -325,9 +356,15 @@ func (r *Registry) Default() *Store {
 	return s
 }
 
+// Coalescer returns the registry-wide fsync coalescer (nil when disabled
+// or memory-only).
+func (r *Registry) Coalescer() *wal.Coalescer { return r.coal }
+
 // Close closes every store (sealing WALs, writing final checkpoints) and
 // refuses further creations. The first error wins; all stores are closed
-// regardless.
+// regardless. The shared coalescer closes after the stores — their
+// committers are drained by then, and a straggler would still fall back to
+// a direct fsync rather than fail.
 func (r *Registry) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -336,6 +373,11 @@ func (r *Registry) Close() error {
 	for _, name := range sortedKeys(r.stores) {
 		if err := r.stores[name].Close(); err != nil && first == nil {
 			first = fmt.Errorf("store %q: %w", name, err)
+		}
+	}
+	if r.coal != nil {
+		if err := r.coal.Close(); err != nil && first == nil {
+			first = fmt.Errorf("coalescer: %w", err)
 		}
 	}
 	return first

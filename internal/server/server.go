@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,7 +48,8 @@ const (
 //	GET  [/stores/{name}]/metrics    store counters (epoch, cache, requests)
 //	GET  [/stores/{name}]/healthz    liveness probe
 //	GET  [/stores/{name}]/export     whole-graph export: ?format=prov-json | dot | pg
-//	PUT  /stores/{name}              create the named store (idempotent)
+//	PUT  /stores/{name}              create the named store (idempotent); the
+//	                                 optional JSON body sets its QoS limits
 //	GET  /stores                     list stores
 //
 // All reads run lock-free against the routed store's current epoch
@@ -63,6 +66,14 @@ const (
 // the JSON panel (default) or Prometheus text exposition
 // (?format=prometheus, or an Accept header naming text/plain /
 // openmetrics).
+//
+// Admission control (see qos.go): a store configured with rate /
+// concurrency limits rejects over-limit requests with 429 + Retry-After
+// before the handler runs (metrics and health probes are exempt), and a
+// bounded commit queue rejects ingest with 429 before the batch mutates
+// the graph. Rejections flow through the same observability wrapper as
+// successes: the request id is echoed and the status-class counters and
+// latency histograms stay exact.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
@@ -163,11 +174,32 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// admissionExempt reports endpoints that bypass the store's QoS limits:
+// health probes and metrics scrapes must keep answering on an overloaded
+// (or deliberately throttled) store — they are how the overload is seen.
+func admissionExempt(endpoint string) bool {
+	return endpoint == "metrics" || endpoint == "healthz"
+}
+
+// retryAfterSeconds renders a Retry-After hint in the header's
+// delay-seconds form: an integer, rounded up, at least 1 (a "0" invites an
+// immediate identical retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // serveEndpoint runs one store-scoped request through the observability
 // wrapper: request-id resolution and echo, per-endpoint counters and
 // latency histogram, slow-query capture and the structured request log.
 // The total counter bumps before the handler (so a /metrics response counts
 // itself, as it always has); status class and latency record on completion.
+// Admission control runs inside the wrapper: a 429 carries the request id
+// and counts in the endpoint's status-class and latency metrics exactly
+// like any other completion.
 func (s *Server) serveEndpoint(st *Store, ep endpointDef, w http.ResponseWriter, r *http.Request) {
 	st.countRequest(ep.name)
 
@@ -181,7 +213,16 @@ func (s *Server) serveEndpoint(st *Store, ep endpointDef, w http.ResponseWriter,
 
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	ep.h(st, sw, r.WithContext(ctx))
+	if admissionExempt(ep.name) {
+		ep.h(st, sw, r.WithContext(ctx))
+	} else if release, retry, ok := st.Admit(); ok {
+		ep.h(st, sw, r.WithContext(ctx))
+		release()
+	} else {
+		sw.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeErr(sw, http.StatusTooManyRequests,
+			"store %q: over its admission limits (rate or concurrency)", st.Name())
+	}
 	d := time.Since(start)
 	st.observeRequest(ep.name, sw.status, d)
 
@@ -526,7 +567,17 @@ func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request)
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "ingest: %v", err)
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			// The batch was rejected before mutating anything; the committer
+			// drains the queue continuously, so a short fixed hint suffices.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "ingest: %v", err)
+		case errors.Is(err, ErrStoreClosed):
+			writeErr(w, http.StatusServiceUnavailable, "ingest: %v", err)
+		default:
+			writeErr(w, http.StatusBadRequest, "ingest: %v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, &resp)
@@ -622,6 +673,7 @@ func (s *Server) handleMetrics(st *Store, w http.ResponseWriter, r *http.Request
 		Requests:     st.RequestCounts(),
 		Endpoints:    st.EndpointStatsSnapshot(),
 		Stages:       st.StageStats(),
+		QoS:          st.QoSStatsSnapshot(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -642,23 +694,55 @@ func (s *Server) handleHealthz(st *Store, w http.ResponseWriter, r *http.Request
 }
 
 // handleStoreCreate serves PUT /stores/{name}: open (or return) the named
-// store. Creation is idempotent — a retried PUT reports created=false.
+// store, optionally (re)configuring its admission policy from the request
+// body. Creation is idempotent — a retried PUT reports created=false — and
+// everything is validated before the data directory is touched: a hostile
+// name or a malformed body gets a uniform JSON 400 with no store created.
 func (s *Server) handleStoreCreate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("store")
 	if !ValidStoreName(name) {
 		writeErr(w, http.StatusBadRequest, "invalid store name %q (want 1-%d chars of [a-zA-Z0-9_-])", name, maxStoreName)
 		return
 	}
+	var req StoreCreateRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.QoS != nil {
+			if err := req.QoS.Validate(); err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+	}
 	st, created, err := s.reg.Create(name)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "create store: %v", err)
 		return
 	}
+	if req.QoS != nil {
+		if err := st.SetQoS(*req.QoS); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	code := http.StatusOK
 	if created {
 		code = http.StatusCreated
 	}
-	writeJSON(w, code, StoreCreateResponse{Store: name, Created: created, Epoch: st.Epoch().N})
+	writeJSON(w, code, StoreCreateResponse{
+		Store: name, Created: created, Epoch: st.Epoch().N,
+		QoS: st.QoSConfigSnapshot(),
+	})
 }
 
 // handleStoreList serves GET /stores: every store with its headline state.

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -278,6 +280,110 @@ func TestUnknownStore404Shape(t *testing.T) {
 				t.Errorf("%s /stores/%s%s: error %q lacks the uniform shape", ep.method, name, ep.path, errResp.Error)
 			}
 		}
+	}
+}
+
+// TestStoreCreateValidation400Shape asserts PUT /stores/{name} rejects
+// hostile or malformed input with the uniform JSON 400 envelope BEFORE
+// touching the data directory: no store appears in the registry and no
+// subdirectory is created, for bad names and bad bodies alike.
+func TestStoreCreateValidation400Shape(t *testing.T) {
+	dir := t.TempDir()
+	reg, _, err := OpenRegistry(RegistryOptions{DataDir: dir, CacheCap: 8}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(NewMultiServer(reg))
+	defer ts.Close()
+
+	dataDirEntries := func() []string {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return names
+	}
+	before := dataDirEntries()
+
+	// Bad names, escaped so each stays one path segment on the wire. The
+	// traversal spellings ("..", "a/b") are unroutable by construction —
+	// TestValidStoreName covers the validator directly — so the table holds
+	// the shapes that DO reach the handler.
+	badNames := []struct{ label, escaped string }{
+		{"dots", "no.dots"},
+		{"space", "sp%20ace"},
+		{"unicode", "%C3%BC"},
+		{"plus", "a+b"},
+		{"overlong", strings.Repeat("x", 65)},
+	}
+	for _, tc := range badNames {
+		var errResp ErrorResponse
+		code := doJSON(t, http.MethodPut, ts.URL+"/stores/"+tc.escaped, nil, &errResp)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.label, code)
+			continue
+		}
+		if !strings.Contains(errResp.Error, "invalid store name") {
+			t.Errorf("%s: error %q lacks the uniform envelope", tc.label, errResp.Error)
+		}
+	}
+
+	// Bad bodies on a VALID new name: validated before Create, so the store
+	// must not exist afterward in the registry or on disk.
+	badBodies := []struct {
+		label string
+		body  string
+	}{
+		{"syntax", `{`},
+		{"unknown-field", `{"qoz":{}}`},
+		{"negative-rate", `{"qos":{"rate_per_sec":-1}}`},
+		{"burst-without-rate", `{"qos":{"burst":3}}`},
+		{"queue-over-cap", `{"qos":{"max_queue":100000}}`},
+		{"wrong-type", `{"qos":{"rate_per_sec":"fast"}}`},
+	}
+	for _, tc := range badBodies {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/stores/ghost", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errResp ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&errResp); err != nil {
+			t.Fatalf("%s: non-JSON error body: %v", tc.label, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.label, resp.StatusCode)
+		}
+		if errResp.Error == "" {
+			t.Errorf("%s: empty error envelope", tc.label)
+		}
+		if _, err := reg.Get("ghost"); err == nil {
+			t.Fatalf("%s: a rejected PUT created the store", tc.label)
+		}
+	}
+	if after := dataDirEntries(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("rejected PUTs touched the data directory: %v -> %v", before, after)
+	}
+
+	// Control: the same name with a well-formed body creates exactly one
+	// subdirectory.
+	var created StoreCreateResponse
+	if code := doJSON(t, http.MethodPut, ts.URL+"/stores/ghost",
+		StoreCreateRequest{QoS: &QoSConfig{RatePerSec: 100}}, &created); code != http.StatusCreated {
+		t.Fatalf("control create: status %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ghost")); err != nil {
+		t.Fatalf("control create left no directory: %v", err)
 	}
 }
 

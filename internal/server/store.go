@@ -62,6 +62,10 @@ type Store struct {
 	// and (without group commit) publication. Readers never take it.
 	writeMu sync.Mutex
 	rec     *prov.Recorder
+	// closed (guarded by writeMu) marks a store past the point of admitting
+	// writes: Close sets it before stopping the committer, so no batch can
+	// be staged onto a queue nothing will ever drain.
+	closed bool
 
 	snap atomic.Pointer[Epoch]
 
@@ -146,6 +150,33 @@ type Store struct {
 	groupLast    atomic.Int64  // size of the most recent group
 	groupMax     atomic.Int64  // largest group so far
 
+	// coal, when non-nil, is the registry-wide fsync coalescer: the
+	// committer appends its group unsynced and borrows a shared
+	// device-level barrier instead of issuing its own fsync, so N stores'
+	// committers pay ~one flush per sync window rather than N.
+	coal      *wal.Coalescer
+	coalesced atomic.Uint64 // groups retired through a shared sync window
+	// Coalesced sync/publish pipeline: the committer hands each appended
+	// group to syncLoop via syncQ and goes straight back to draining, so
+	// group formation overlaps the device barrier instead of lock-stepping
+	// behind it. appendSeq numbers appended groups; syncedSeq is the newest
+	// one a barrier has covered — a barrier makes every byte appended before
+	// it durable, so one SyncWait retires every group staged behind the job
+	// that triggered it.
+	syncQ     chan *syncJob
+	syncDone  chan struct{}
+	appendSeq atomic.Uint64
+	syncedSeq atomic.Uint64
+
+	// Admission control (see qos.go): the active limiter (nil = no limits)
+	// and the admit/reject counters, kept on the store so config swaps
+	// don't reset them.
+	qos              atomic.Pointer[qosLimiter]
+	qosAdmitted      atomic.Uint64
+	qosRejectedRate  atomic.Uint64
+	qosRejectedConc  atomic.Uint64
+	qosRejectedQueue atomic.Uint64
+
 	started time.Time
 }
 
@@ -166,6 +197,15 @@ type commitReq struct {
 	stagedAt time.Time
 	reqID    string
 	stages   *obs.Stages
+}
+
+// syncJob is one appended-but-unsynced group traveling from the committer
+// to syncLoop: the group to publish once a device barrier covers it, its
+// append sequence number, and the append's write cost for stage records.
+type syncJob struct {
+	group      []*commitReq
+	seq        uint64
+	writeNanos int64
 }
 
 // endpointNames are the per-store request counters surfaced in /metrics.
@@ -424,8 +464,20 @@ func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error
 			s.writeMu.Unlock()
 		}
 	}()
+	if s.closed {
+		return fmt.Errorf("store: %w", ErrStoreClosed)
+	}
 	if f := s.walFail.Load(); f != nil {
 		return fmt.Errorf("store: writes disabled after write-ahead log failure: %w", f.err)
+	}
+	// Backpressure: a commit queue at its configured cap rejects the batch
+	// here — before fn mutates the graph — so the writer gets a clean 429
+	// instead of parking under the write mutex behind a saturated committer.
+	if s.groupCommit {
+		if l := s.qos.Load(); l != nil && l.cfg.MaxQueue > 0 && len(s.commitCh) >= l.cfg.MaxQueue {
+			s.qosRejectedQueue.Add(1)
+			return fmt.Errorf("store: %w (%d batches staged)", ErrBackpressure, len(s.commitCh))
+		}
 	}
 	if err := fn(s.rec); err != nil {
 		return err
@@ -620,6 +672,29 @@ drain:
 	for i, req := range group {
 		recs[i] = wal.Record{Epoch: req.ep.N, Payload: req.payload}
 	}
+	if s.coal != nil {
+		// Coalesced path: write the group unsynced and hand it to syncLoop,
+		// which parks in the shared device-level sync window and publishes
+		// once the barrier covers these bytes. The committer goes straight
+		// back to draining, so the next group forms while this one's barrier
+		// is in flight — without the pipeline, one store could never have
+		// more than a single group per window and the coalescer degenerated
+		// to serialized near-empty windows.
+		tm, err := s.wal.AppendBatchTimedNoSync(recs)
+		s.stageAppend.Observe(time.Duration(tm.WriteNanos))
+		if err != nil {
+			for _, req := range group {
+				if req.stages != nil {
+					req.stages.AppendNanos = tm.WriteNanos
+				}
+			}
+			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
+			s.failGroup(group, err)
+			return
+		}
+		s.syncQ <- &syncJob{group: group, seq: s.appendSeq.Add(1), writeNanos: tm.WriteNanos}
+		return
+	}
 	tm, err := s.wal.AppendBatchTimed(recs)
 	// The append and fsync are group-level costs: record one histogram
 	// sample each, but stamp every member's stage record (each request paid
@@ -638,6 +713,57 @@ drain:
 		s.failGroup(group, err)
 		return
 	}
+	s.retireGroup(group)
+}
+
+// syncLoop is the coalesced sync/publish stage: it takes appended groups
+// in order, waits for a shared device barrier to cover them, and publishes.
+// A barrier makes every byte appended before it durable, so when several
+// groups queue up behind one in-flight window, the single SyncWait issued
+// for the head job retires all of them — the store pays one barrier per
+// pipeline cycle, not per group.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	var lastSyncNs int64
+	for job := range s.syncQ {
+		if f := s.walFail.Load(); f != nil {
+			s.failGroup(job.group, f.err)
+			continue
+		}
+		if job.seq > s.syncedSeq.Load() {
+			// The prep hook samples the appended tail right before the
+			// barrier fires: everything the committer appended while this
+			// request waited for its window is covered too, so the groups
+			// queued behind this job retire without a barrier of their own.
+			var covered uint64
+			start := time.Now()
+			err := s.coal.SyncWaitPrep(s.wal, func() { covered = s.appendSeq.Load() })
+			lastSyncNs = time.Since(start).Nanoseconds()
+			if err != nil {
+				s.walFail.CompareAndSwap(nil, &walFailure{err: err})
+				s.failGroup(job.group, err)
+				continue
+			}
+			s.syncedSeq.Store(covered)
+			s.stageFsync.Observe(time.Duration(lastSyncNs))
+		}
+		// Piggybacked jobs are stamped with the barrier wait that covered
+		// them: in wall-clock terms that is what their writers paid.
+		for _, req := range job.group {
+			if req.stages != nil {
+				req.stages.AppendNanos, req.stages.FsyncNanos = job.writeNanos, lastSyncNs
+			}
+		}
+		s.coalesced.Add(1)
+		s.retireGroup(job.group)
+	}
+}
+
+// retireGroup counts one durably committed group and publishes its members
+// in order. Called from the committer (private-fsync path) or from
+// syncLoop (coalesced path) — never both for one store, so publishes stay
+// single-threaded.
+func (s *Store) retireGroup(group []*commitReq) {
 	s.groups.Add(1)
 	s.groupRecords.Add(uint64(len(group)))
 	s.groupLast.Store(int64(len(group)))

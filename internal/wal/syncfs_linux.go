@@ -1,0 +1,17 @@
+//go:build linux && (amd64 || arm64)
+
+package wal
+
+import "syscall"
+
+// rawSyncfs flushes the whole filesystem containing fd to stable storage —
+// one device-level barrier covering every store's log in the data tree.
+// Returns the raw errno on failure (ENOSYS on pre-2.6.39 kernels or
+// seccomp-filtered sandboxes; callers fall back to per-file fsync).
+func rawSyncfs(fd uintptr) error {
+	_, _, errno := syscall.Syscall(sysSyncfs, fd, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package wal
+
+// sysSyncfs is the syncfs(2) syscall number on linux/amd64. The frozen
+// syscall package predates syncfs, so the number is pinned here.
+const (
+	sysSyncfs       = 306
+	syncfsSupported = true
+)

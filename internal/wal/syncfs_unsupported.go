@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package wal
+
+import "errors"
+
+const syncfsSupported = false
+
+// rawSyncfs is unavailable on this platform; the coalescer degrades to
+// deduplicated per-file fsync.
+func rawSyncfs(fd uintptr) error {
+	return errors.ErrUnsupported
+}

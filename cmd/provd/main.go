@@ -9,6 +9,7 @@
 //	provd -gen 10000 -seed 1 -addr :8042
 //	provd -data /var/lib/provd -addr :8042
 //	provd -data /var/lib/provd -stores audit,ml -addr :8042
+//	provd -follow http://leader:8042 -addr :8043
 //
 // With -data the daemon is durable: every committed ingest batch is made
 // durable in the store's write-ahead log (fsynced per -fsync; concurrent
@@ -26,6 +27,16 @@
 // (syncfs(2) where available, parallel per-log fsyncs elsewhere), so a
 // multi-store daemon pays one device barrier per window instead of one per
 // store. -no-coalesce restores private per-store fsyncs.
+//
+// With -follow the daemon is a read-only replica: it mirrors the leader's
+// store set (polling GET /stores), tails each store's wal stream
+// (GET /stores/{name}/wal) and serves the full read API at its applied
+// epoch. Writes answer 307 with the leader's address; reads presenting an
+// X-Min-Epoch token (the epoch from an ingest response) wait for the
+// applier to catch up or fail 412. POST /stores/{name}/promote seals a
+// store's applier and opens its write path — the failover switch.
+// -follow is incompatible with -data/-in/-gen: a follower's state is the
+// leader's, not its own.
 //
 // Admission control: -qos-rate/-qos-burst/-qos-concurrency/-qos-queue set
 // a default per-store admission policy (token-bucket rate limit, in-flight
@@ -47,6 +58,8 @@
 //	GET  /stores/{name}/metrics
 //	GET  /stores/{name}/healthz
 //	GET  /stores/{name}/export?format=prov-json|dot|pg
+//	GET  /stores/{name}/wal?from=N replication stream (checkpoint + live log tail)
+//	POST /stores/{name}/promote    seal a follower store's applier, open writes
 //	PUT  /stores/{name}            create a store at runtime
 //	GET  /stores                   list stores
 //
@@ -97,6 +110,7 @@ func main() {
 	cacheCap := flag.Int("cache", 256, "segment result cache capacity per store (entries)")
 	stores := flag.String("stores", "", "comma-separated extra store names to open or create at boot (the \"default\" store always exists)")
 	dataDir := flag.String("data", "", "root data directory for durable serving (per-store write-ahead log + checkpoints under <data>/<store>/); empty serves memory-only")
+	follow := flag.String("follow", "", "run as a read-only follower replicating the provd leader at this base URL (e.g. http://leader:8042); incompatible with -data/-in/-gen")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always (every commit), interval (background flush), never (OS-paced)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background flush period with -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed batches between checkpoints per store (bounds log growth and restart replay)")
@@ -123,9 +137,25 @@ func main() {
 		MaxConcurrent: *qosConcurrency,
 		MaxQueue:      *qosQueue,
 	}
-	reg, err := openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit, *noCoalesce, qos, logger)
-	if err != nil {
-		log.Fatalf("provd: %v", err)
+	var reg *server.Registry
+	if *follow != "" {
+		if *dataDir != "" || *in != "" || *genN > 0 {
+			log.Fatalf("provd: -follow is incompatible with -data/-in/-gen (a follower mirrors the leader's state)")
+		}
+		reg, err = server.OpenFollower(server.FollowerOptions{
+			LeaderURL: *follow,
+			CacheCap:  *cacheCap,
+			Logger:    logger,
+		})
+		if err != nil {
+			log.Fatalf("provd: %v", err)
+		}
+		log.Printf("provd: following leader %s (%d stores discovered)", *follow, len(reg.Names()))
+	} else {
+		reg, err = openRegistry(*dataDir, *stores, *in, *genN, *seed, *cacheCap, *fsync, *fsyncInterval, *checkpointEvery, *groupCommit, *noCoalesce, qos, logger)
+		if err != nil {
+			log.Fatalf("provd: %v", err)
+		}
 	}
 	defer reg.Close()
 
@@ -172,7 +202,10 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Long-lived wal streams never drain on their own; sever them so
+			// the process actually exits within the grace period.
 			log.Printf("provd: shutdown: %v", err)
+			_ = srv.Close()
 		}
 		// The deferred reg.Close seals every store's WAL and writes final
 		// checkpoints once no more requests can commit.

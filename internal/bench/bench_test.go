@@ -14,8 +14,8 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 13 {
-		t.Fatalf("want 13 panels, got %v", IDs())
+	if len(IDs()) != 14 {
+		t.Fatalf("want 14 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
@@ -60,6 +60,25 @@ func TestRunHotNeighborTiny(t *testing.T) {
 		if p99 <= 0 {
 			t.Fatalf("rate=%v: p99 %v", rate, p99)
 		}
+	}
+}
+
+// TestRunReplTiny drives the replication measurement core on a miniature
+// workload: the leader commits, the follower catches up over real HTTP,
+// both rates are positive and no record lag remains.
+func TestRunReplTiny(t *testing.T) {
+	commit, apply, lag, residual, err := runRepl(2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit <= 0 || apply <= 0 {
+		t.Fatalf("rates: commit %f apply %f", commit, apply)
+	}
+	if residual != 0 {
+		t.Fatalf("follower left %d records behind after WaitEpoch", residual)
+	}
+	if lag.Count == 0 {
+		t.Fatal("apply-lag histogram empty")
 	}
 }
 

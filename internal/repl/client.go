@@ -1,0 +1,140 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// EventKind classifies one decoded stream event.
+type EventKind int
+
+const (
+	// KindSnapshot: Payload is a full checkpoint (graph.Save bytes) at
+	// Epoch; the follower must reset to it.
+	KindSnapshot EventKind = iota
+	// KindDelta: Payload is the epoch delta for Epoch; apply on top of
+	// Epoch-1.
+	KindDelta
+	// KindMeta: a leader heartbeat; Epoch and Payload are unset.
+	KindMeta
+)
+
+// Event is one decoded record from a replication stream. LeaderEpoch and
+// PublishedNanos ride along on every kind, taken from the most recent
+// meta frame.
+type Event struct {
+	Kind           EventKind
+	Epoch          uint64
+	Payload        []byte
+	LeaderEpoch    uint64
+	PublishedNanos int64
+}
+
+// ErrFollowerAhead reports a leader that refused the stream because the
+// follower's epoch is beyond the leader's history (HTTP 409) — the
+// follower replicated from a different lineage and must re-seed from
+// epoch 0 or be promoted.
+var ErrFollowerAhead = errors.New("repl: follower epoch ahead of leader")
+
+// StreamURL renders the wal-stream URL for a store on a leader.
+func StreamURL(leaderURL, store string, from uint64) string {
+	return strings.TrimSuffix(leaderURL, "/") + "/stores/" + url.PathEscape(store) +
+		"/wal?from=" + strconv.FormatUint(from, 10)
+}
+
+// Stream is an open replication stream: a decoded view of one wal-stream
+// response. It is not safe for concurrent use.
+type Stream struct {
+	resp *http.Response
+	fr   *wal.FrameReader
+
+	// snapEpoch is the announced checkpoint epoch; snapPending marks that
+	// the next non-meta frame is that checkpoint.
+	snapEpoch   uint64
+	snapPending bool
+
+	leaderEpoch uint64
+	lastNanos   int64
+}
+
+// Open connects to leaderURL's wal stream for store, resuming after epoch
+// from. hc nil selects http.DefaultClient. The returned stream must be
+// Closed. Cancel ctx to abort the tail.
+func Open(ctx context.Context, hc *http.Client, leaderURL, store string, from uint64) (*Stream, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, StreamURL(leaderURL, store, from), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict {
+			return nil, fmt.Errorf("%w: %s", ErrFollowerAhead, strings.TrimSpace(string(body)))
+		}
+		return nil, fmt.Errorf("repl: leader returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	s := &Stream{resp: resp, fr: wal.NewFrameReader(resp.Body)}
+	if v := resp.Header.Get(HeaderLeaderEpoch); v != "" {
+		s.leaderEpoch, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := resp.Header.Get(HeaderSnapshot); v != "" {
+		ep, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("repl: bad %s header %q", HeaderSnapshot, v)
+		}
+		s.snapEpoch, s.snapPending = ep, true
+	}
+	return s, nil
+}
+
+// Next returns the next event. io.EOF means the leader closed the stream
+// cleanly between frames; wal.ErrTornFrame means the connection cut
+// mid-frame (everything already returned is intact); wal.ErrBadFrame
+// means corruption. The event payload is only valid until the next call.
+func (s *Stream) Next() (Event, error) {
+	epoch, payload, err := s.fr.Next()
+	if err != nil {
+		return Event{}, err
+	}
+	if epoch == MetaEpoch {
+		m, err := decodeMeta(payload)
+		if err != nil {
+			return Event{}, fmt.Errorf("%w: %v", wal.ErrBadFrame, err)
+		}
+		s.leaderEpoch = m.LeaderEpoch
+		s.lastNanos = m.PublishedNanos
+		return Event{Kind: KindMeta, LeaderEpoch: m.LeaderEpoch, PublishedNanos: m.PublishedNanos}, nil
+	}
+	ev := Event{Kind: KindDelta, Epoch: epoch, Payload: payload, LeaderEpoch: s.leaderEpoch, PublishedNanos: s.lastNanos}
+	if s.snapPending {
+		s.snapPending = false
+		if epoch != s.snapEpoch {
+			return Event{}, fmt.Errorf("%w: checkpoint frame at epoch %d, header said %d", wal.ErrBadFrame, epoch, s.snapEpoch)
+		}
+		ev.Kind = KindSnapshot
+	}
+	return ev, nil
+}
+
+// LeaderEpoch returns the leader's head epoch as of the most recent meta
+// frame (or the stream-start header before any meta arrives).
+func (s *Stream) LeaderEpoch() uint64 { return s.leaderEpoch }
+
+// Close releases the underlying connection.
+func (s *Stream) Close() error { return s.resp.Body.Close() }

@@ -1,0 +1,176 @@
+package repl
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one published record held by a Hub: the delta payload for an
+// epoch plus its publish wall-clock.
+type Entry struct {
+	Epoch          uint64
+	Payload        []byte
+	PublishedNanos int64
+}
+
+// WaitResult classifies the outcome of Hub.WaitNext.
+type WaitResult int
+
+const (
+	// WaitReady: the entry is available.
+	WaitReady WaitResult = iota
+	// WaitEvicted: the requested epoch has been evicted from the ring; the
+	// caller must restart from a checkpoint.
+	WaitEvicted
+	// WaitCanceled: the caller's cancel channel fired first.
+	WaitCanceled
+	// WaitTimeout: the timeout elapsed with nothing new published.
+	WaitTimeout
+	// WaitClosed: the hub was closed (store shutting down).
+	WaitClosed
+)
+
+// Hub is the leader-side tail buffer: a bounded ring of the most recently
+// published (epoch, delta) pairs. The store's publish path feeds it —
+// publishes are single-threaded per store, so entries arrive in epoch
+// order — and any number of stream goroutines block on WaitNext to tail
+// it. Readers that fall behind the ring's capacity are told to re-seed
+// from a checkpoint rather than stalling the writer.
+type Hub struct {
+	mu      sync.Mutex
+	notify  chan struct{} // closed and replaced on every publish/close
+	closed  bool
+	cap     int
+	base    uint64 // ring covers epochs base+1 .. head
+	head    uint64
+	entries []Entry
+}
+
+// DefaultHubCapacity bounds how many recent deltas a store retains for
+// tailing followers before they are pushed back to a checkpoint.
+const DefaultHubCapacity = 1024
+
+// NewHub returns a hub based at epoch at (the store's current epoch: the
+// first published entry is expected to be at+1). capacity <= 0 selects
+// DefaultHubCapacity.
+func NewHub(capacity int, at uint64) *Hub {
+	if capacity <= 0 {
+		capacity = DefaultHubCapacity
+	}
+	return &Hub{
+		notify: make(chan struct{}),
+		cap:    capacity,
+		base:   at,
+		head:   at,
+	}
+}
+
+// Publish appends the delta for epoch. Contiguous epochs (head+1) extend
+// the ring; anything else resets it — a follower-turned-leader or a
+// snapshot-reset store re-bases the hub at its new epoch line. Stale
+// epochs (<= head) are ignored. The payload is retained by reference and
+// must not be mutated by the caller afterwards.
+func (h *Hub) Publish(epoch uint64, payload []byte, publishedNanos int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || epoch <= h.head {
+		return
+	}
+	if epoch != h.head+1 {
+		h.entries = h.entries[:0]
+		h.base = epoch - 1
+	}
+	h.entries = append(h.entries, Entry{Epoch: epoch, Payload: payload, PublishedNanos: publishedNanos})
+	h.head = epoch
+	if len(h.entries) > h.cap {
+		drop := len(h.entries) - h.cap
+		h.entries = append(h.entries[:0], h.entries[drop:]...)
+		h.base += uint64(drop)
+	}
+	close(h.notify)
+	h.notify = make(chan struct{})
+}
+
+// Rebase moves the hub to a new epoch line with no deltas: the ring
+// empties and base = head = epoch. A follower store that re-seeded from a
+// full checkpoint calls this — the epochs between its old and new state
+// were never applied as deltas, so tailing streams must end (their clients
+// re-seed from a checkpoint of their own).
+func (h *Hub) Rebase(epoch uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.entries = h.entries[:0]
+	h.base = epoch
+	h.head = epoch
+	close(h.notify)
+	h.notify = make(chan struct{})
+}
+
+// Head returns the newest published epoch.
+func (h *Hub) Head() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.head
+}
+
+// Oldest returns the oldest epoch still in the ring (base+1), or head+1
+// when the ring is empty.
+func (h *Hub) Oldest() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.base + 1
+}
+
+// Close wakes all waiters with WaitClosed; further publishes are dropped.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.notify)
+	h.notify = make(chan struct{})
+}
+
+// WaitNext returns the entry for epoch after+1, blocking until it is
+// published, the timeout elapses (timeout <= 0 waits forever), cancel
+// fires, or the hub closes. WaitEvicted means after+1 has already left
+// the ring and the caller must restart from a checkpoint.
+func (h *Hub) WaitNext(after uint64, timeout time.Duration, cancel <-chan struct{}) (Entry, WaitResult) {
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		timeoutCh = timer.C
+		defer timer.Stop()
+	}
+	for {
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			return Entry{}, WaitClosed
+		}
+		if after < h.base {
+			h.mu.Unlock()
+			return Entry{}, WaitEvicted
+		}
+		if after < h.head {
+			e := h.entries[after-h.base]
+			h.mu.Unlock()
+			return e, WaitReady
+		}
+		notify := h.notify
+		h.mu.Unlock()
+		select {
+		case <-notify:
+		case <-timeoutCh:
+			return Entry{}, WaitTimeout
+		case <-cancel:
+			return Entry{}, WaitCanceled
+		}
+	}
+}

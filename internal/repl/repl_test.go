@@ -1,0 +1,350 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func TestHubPublishWaitEvict(t *testing.T) {
+	h := NewHub(4, 10)
+	if h.Head() != 10 || h.Oldest() != 11 {
+		t.Fatalf("fresh hub: head=%d oldest=%d", h.Head(), h.Oldest())
+	}
+
+	// Waiter blocks until publish.
+	got := make(chan Entry, 1)
+	go func() {
+		e, res := h.WaitNext(10, 0, nil)
+		if res != WaitReady {
+			t.Errorf("WaitNext: %v", res)
+		}
+		got <- e
+	}()
+	h.Publish(11, []byte("d11"), 111)
+	e := <-got
+	if e.Epoch != 11 || string(e.Payload) != "d11" || e.PublishedNanos != 111 {
+		t.Fatalf("entry: %+v", e)
+	}
+
+	// Stale and gapped publishes.
+	h.Publish(11, []byte("dup"), 0) // ignored
+	for ep := uint64(12); ep <= 17; ep++ {
+		h.Publish(ep, []byte(fmt.Sprintf("d%d", ep)), 0)
+	}
+	// cap=4: ring covers 14..17 now.
+	if h.Head() != 17 || h.Oldest() != 14 {
+		t.Fatalf("after eviction: head=%d oldest=%d", h.Head(), h.Oldest())
+	}
+	if _, res := h.WaitNext(11, 0, nil); res != WaitEvicted {
+		t.Fatalf("evicted epoch: %v", res)
+	}
+	if e, res := h.WaitNext(14, 0, nil); res != WaitReady || e.Epoch != 15 {
+		t.Fatalf("mid-ring: %v %+v", res, e)
+	}
+
+	// Timeout and cancel.
+	if _, res := h.WaitNext(17, 10*time.Millisecond, nil); res != WaitTimeout {
+		t.Fatalf("timeout: %v", res)
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, res := h.WaitNext(17, 0, cancel); res != WaitCanceled {
+		t.Fatalf("cancel: %v", res)
+	}
+
+	// Non-contiguous publish rebases the ring (promotion / snapshot reset).
+	h.Publish(40, []byte("d40"), 0)
+	if h.Head() != 40 || h.Oldest() != 40 {
+		t.Fatalf("after rebase: head=%d oldest=%d", h.Head(), h.Oldest())
+	}
+
+	h.Close()
+	if _, res := h.WaitNext(40, 0, nil); res != WaitClosed {
+		t.Fatalf("closed: %v", res)
+	}
+	h.Publish(41, nil, 0) // dropped, no panic
+	if h.Head() != 40 {
+		t.Fatalf("publish after close advanced head to %d", h.Head())
+	}
+}
+
+func TestHubConcurrentTailers(t *testing.T) {
+	h := NewHub(64, 0)
+	const n, tailers = 50, 8
+	var wg sync.WaitGroup
+	for i := 0; i < tailers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			after := uint64(0)
+			for after < n {
+				e, res := h.WaitNext(after, 0, nil)
+				if res != WaitReady || e.Epoch != after+1 {
+					t.Errorf("tailer: res=%v epoch=%d after=%d", res, e.Epoch, after)
+					return
+				}
+				after = e.Epoch
+			}
+		}()
+	}
+	for ep := uint64(1); ep <= n; ep++ {
+		h.Publish(ep, []byte{byte(ep)}, 0)
+	}
+	wg.Wait()
+}
+
+// streamServer wires ServeStream to a test mux the way the real server
+// does, with a canned snapshot.
+func streamServer(h *Hub, snapEpoch *uint64, snapData *[]byte) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from := uint64(0)
+		fmt.Sscanf(r.URL.Query().Get("from"), "%d", &from)
+		ServeStream(w, r, ServeOptions{
+			From:      from,
+			Hub:       h,
+			Heartbeat: 20 * time.Millisecond,
+			Snapshot: func() (uint64, []byte, error) {
+				return *snapEpoch, *snapData, nil
+			},
+		})
+	}))
+}
+
+func TestStreamTailAndLiveCommits(t *testing.T) {
+	h := NewHub(128, 0)
+	snapEpoch, snapData := uint64(0), []byte(nil)
+	srv := streamServer(h, &snapEpoch, &snapData)
+	defer srv.Close()
+
+	for ep := uint64(1); ep <= 3; ep++ {
+		h.Publish(ep, []byte(fmt.Sprintf("delta-%d", ep)), int64(ep*100))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(ctx, srv.Client(), srv.URL, "default", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.LeaderEpoch() != 3 {
+		t.Fatalf("leader epoch header: %d", s.LeaderEpoch())
+	}
+
+	// Publish two more live while tailing.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		h.Publish(4, []byte("delta-4"), 400)
+		h.Publish(5, []byte("delta-5"), 500)
+	}()
+
+	want := uint64(2)
+	deadline := time.After(5 * time.Second)
+	for want <= 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for epoch %d", want)
+		default:
+		}
+		ev, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if ev.Kind == KindMeta {
+			continue
+		}
+		if ev.Kind != KindDelta || ev.Epoch != want {
+			t.Fatalf("event: kind=%d epoch=%d want delta %d", ev.Kind, ev.Epoch, want)
+		}
+		if string(ev.Payload) != fmt.Sprintf("delta-%d", want) {
+			t.Fatalf("payload: %q", ev.Payload)
+		}
+		if ev.PublishedNanos != int64(want*100) {
+			t.Fatalf("published nanos: %d for epoch %d", ev.PublishedNanos, want)
+		}
+		if ev.LeaderEpoch < want {
+			t.Fatalf("leader epoch %d below delta epoch %d", ev.LeaderEpoch, want)
+		}
+		want++
+	}
+}
+
+func TestStreamCheckpointSeed(t *testing.T) {
+	h := NewHub(2, 0)
+	for ep := uint64(1); ep <= 10; ep++ {
+		h.Publish(ep, []byte(fmt.Sprintf("delta-%d", ep)), 0)
+	}
+	// Ring covers 9..10 only; from=0 must seed via checkpoint.
+	snapEpoch, snapData := uint64(10), []byte("full-checkpoint")
+	srv := streamServer(h, &snapEpoch, &snapData)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(ctx, srv.Client(), srv.URL, "default", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var first Event
+	for {
+		ev, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if ev.Kind != KindMeta {
+			first = ev
+			break
+		}
+	}
+	if first.Kind != KindSnapshot || first.Epoch != 10 || string(first.Payload) != "full-checkpoint" {
+		t.Fatalf("first event: kind=%d epoch=%d payload=%q", first.Kind, first.Epoch, first.Payload)
+	}
+
+	// After the snapshot the stream tails live.
+	h.Publish(11, []byte("delta-11"), 0)
+	for {
+		ev, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next after snapshot: %v", err)
+		}
+		if ev.Kind == KindMeta {
+			continue
+		}
+		if ev.Kind != KindDelta || ev.Epoch != 11 {
+			t.Fatalf("post-snapshot event: kind=%d epoch=%d", ev.Kind, ev.Epoch)
+		}
+		break
+	}
+}
+
+func TestStreamResumeNoCheckpointWhenRingCovers(t *testing.T) {
+	h := NewHub(128, 0)
+	for ep := uint64(1); ep <= 5; ep++ {
+		h.Publish(ep, []byte{byte(ep)}, 0)
+	}
+	snapEpoch, snapData := uint64(5), []byte("should-not-be-sent")
+	srv := streamServer(h, &snapEpoch, &snapData)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(ctx, srv.Client(), srv.URL, "default", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for want := uint64(4); want <= 5; {
+		ev, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == KindMeta {
+			continue
+		}
+		if ev.Kind != KindDelta || ev.Epoch != want {
+			t.Fatalf("resume event: kind=%d epoch=%d want %d", ev.Kind, ev.Epoch, want)
+		}
+		want++
+	}
+}
+
+func TestStreamFollowerAhead(t *testing.T) {
+	h := NewHub(16, 3)
+	snapEpoch, snapData := uint64(3), []byte(nil)
+	srv := streamServer(h, &snapEpoch, &snapData)
+	defer srv.Close()
+
+	_, err := Open(context.Background(), srv.Client(), srv.URL, "default", 7)
+	if !errors.Is(err, ErrFollowerAhead) {
+		t.Fatalf("got %v, want ErrFollowerAhead", err)
+	}
+}
+
+func TestStreamHeartbeatCarriesLeaderEpoch(t *testing.T) {
+	h := NewHub(16, 2)
+	snapEpoch, snapData := uint64(2), []byte("snap")
+	srv := streamServer(h, &snapEpoch, &snapData)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(ctx, srv.Client(), srv.URL, "default", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ev, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindMeta || ev.LeaderEpoch != 2 || ev.PublishedNanos == 0 {
+		t.Fatalf("opening meta: %+v", ev)
+	}
+	// Idle: next frame is a heartbeat, not a delta.
+	ev, err = s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindMeta || ev.LeaderEpoch != 2 {
+		t.Fatalf("heartbeat: %+v", ev)
+	}
+}
+
+// TestStreamCutMidFrame pins the contract the follower applier relies on:
+// a connection cut at an arbitrary byte offset surfaces as ErrTornFrame
+// (or clean EOF between frames), never as a half-decoded record.
+func TestStreamCutMidFrame(t *testing.T) {
+	var full bytes.Buffer
+	if err := wal.WriteFrame(&full, MetaEpoch, encodeMeta(Meta{LeaderEpoch: 2, PublishedNanos: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.WriteFrame(&full, 1, []byte("delta-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.WriteFrame(&full, 2, []byte("delta-two")); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 0; cut <= len(raw); cut++ {
+		fr := wal.NewFrameReader(bytes.NewReader(raw[:cut]))
+		decoded := 0
+		for {
+			_, _, err := fr.Next()
+			if err == nil {
+				decoded++
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, wal.ErrTornFrame) {
+				t.Fatalf("cut at %d: unexpected error %v", cut, err)
+			}
+			break
+		}
+		if decoded > 3 {
+			t.Fatalf("cut at %d: decoded %d frames from a 3-frame stream", cut, decoded)
+		}
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := Meta{LeaderEpoch: 123456789, PublishedNanos: -42}
+	got, err := decodeMeta(encodeMeta(m))
+	if err != nil || got != m {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+	if _, err := decodeMeta([]byte("short")); err == nil {
+		t.Fatal("short meta decoded")
+	}
+}

@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// ServeOptions configures one ServeStream call.
+type ServeOptions struct {
+	// From is the follower's applied epoch: the stream starts at From+1.
+	From uint64
+	// Hub is the store's publish tail.
+	Hub *Hub
+	// Snapshot materializes the current epoch as a checkpoint frame:
+	// (epoch, graph.Save bytes). Called only when the hub no longer covers
+	// From+1.
+	Snapshot func() (uint64, []byte, error)
+	// Heartbeat is the idle meta-frame interval; <= 0 selects one second.
+	Heartbeat time.Duration
+	// ForceSnapshot opens the stream with a checkpoint frame even when the
+	// hub ring still covers From+1. Stores whose epoch-0 graph was not
+	// empty (loaded or generated at boot) set this for from=0 followers:
+	// no delta in the ring reproduces that base state.
+	ForceSnapshot bool
+}
+
+// DefaultHeartbeat is the idle meta-frame interval when ServeOptions
+// leaves Heartbeat unset.
+const DefaultHeartbeat = time.Second
+
+// ServeStream answers GET /stores/{name}/wal?from=<epoch>: an indefinitely
+// tailing chunked stream of WAL-framed records, optionally opening with a
+// checkpoint frame when the hub ring has moved past from+1. It returns
+// only when the client goes away, the hub closes, the follower falls off
+// the ring mid-stream (it will reconnect and re-seed), or a write fails.
+// Errors before any byte is streamed surface as HTTP statuses; after
+// that, as a cut stream — which is exactly the case the follower's torn-
+// frame handling exists for.
+func ServeStream(w http.ResponseWriter, r *http.Request, opts ServeOptions) {
+	hub := opts.Hub
+	heartbeat := opts.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+
+	from := opts.From
+	head := hub.Head()
+	if from > head {
+		// The follower claims an epoch this store has never published —
+		// it replicated from someone else (or from this store's previous
+		// life). It must re-seed, not wait for history to catch up.
+		http.Error(w, fmt.Sprintf("follower epoch %d ahead of leader epoch %d", from, head), http.StatusConflict)
+		return
+	}
+
+	var snapEpoch uint64
+	var snapData []byte
+	if opts.ForceSnapshot || from+1 < hub.Oldest() {
+		ep, data, err := opts.Snapshot()
+		if err != nil {
+			http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if ep < from {
+			http.Error(w, fmt.Sprintf("snapshot epoch %d behind follower epoch %d", ep, from), http.StatusConflict)
+			return
+		}
+		snapEpoch, snapData = ep, data
+		w.Header().Set(HeaderSnapshot, strconv.FormatUint(ep, 10))
+		from = ep
+	}
+
+	w.Header().Set(HeaderLeaderEpoch, strconv.FormatUint(head, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	writeMeta := func(m Meta) bool {
+		return wal.WriteFrame(w, MetaEpoch, encodeMeta(m)) == nil
+	}
+
+	if !writeMeta(Meta{LeaderEpoch: hub.Head(), PublishedNanos: time.Now().UnixNano()}) {
+		return
+	}
+	if snapData != nil {
+		if wal.WriteFrame(w, snapEpoch, snapData) != nil {
+			return
+		}
+	}
+	flush()
+
+	cancel := r.Context().Done()
+	for {
+		e, res := hub.WaitNext(from, heartbeat, cancel)
+		switch res {
+		case WaitReady:
+			// Meta first: the follower reads the leader head and the
+			// record's publish time before applying, so lag metrics are
+			// per-record accurate.
+			if !writeMeta(Meta{LeaderEpoch: hub.Head(), PublishedNanos: e.PublishedNanos}) {
+				return
+			}
+			if wal.WriteFrame(w, e.Epoch, e.Payload) != nil {
+				return
+			}
+			from = e.Epoch
+			// Flush only when caught up: mid-burst frames ride the next
+			// chunk together.
+			if from == hub.Head() {
+				flush()
+			}
+		case WaitTimeout:
+			if !writeMeta(Meta{LeaderEpoch: hub.Head(), PublishedNanos: time.Now().UnixNano()}) {
+				return
+			}
+			flush()
+		case WaitEvicted, WaitCanceled, WaitClosed:
+			return
+		}
+	}
+}

@@ -153,6 +153,19 @@ func (c *segCache) advance(ep, old *Epoch) {
 	}
 }
 
+// reset purges every entry and rebases the cache at epoch. Snapshot
+// resets (a follower re-seeding from a leader checkpoint) break the
+// append-only continuity delta revalidation relies on, so nothing can be
+// carried over.
+func (c *segCache) reset(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch = epoch
+	c.invalidations.Add(uint64(c.ll.Len()))
+	c.ll.Init()
+	c.byK = make(map[string]*list.Element, c.cap)
+}
+
 // deltaTouches reports whether any edge ingested since the entry's last
 // validation is incident to the entry's support set. The support set is the
 // soundness boundary: on an append-only graph every path or SimProv

@@ -159,6 +159,10 @@ type MetricsResponse struct {
 	// admitted/rejected split (rejections by cause), and the in-flight /
 	// commit-queue-depth pressure gauges.
 	QoS QoSStats `json:"qos"`
+	// Repl is the replication panel: applied/leader epochs, record and time
+	// lag, and reconnects. Present on followers and promoted ex-followers;
+	// omitted on stores that never followed anyone.
+	Repl *ReplStats `json:"repl,omitempty"`
 }
 
 // SlowResponse is the GET /debug/slow payload: the bounded in-memory ring
@@ -262,11 +266,22 @@ type IngestResult struct {
 	Outputs []uint32 `json:"outputs,omitempty"`
 }
 
-// IngestResponse is the POST /ingest reply.
+// IngestResponse is the POST /ingest reply. Epoch is the batch's commit
+// epoch — a read-your-writes token: present it as X-Min-Epoch on a later
+// read (typically against a follower) and the reply is guaranteed to
+// reflect this batch or the request fails with 412 naming the leader.
 type IngestResponse struct {
 	Results  []IngestResult `json:"results"`
 	Vertices int            `json:"vertices"`
 	Edges    int            `json:"edges"`
+	Epoch    uint64         `json:"epoch"`
+}
+
+// PromoteResponse is the POST /stores/{name}/promote reply: the store is
+// now writable at Epoch.
+type PromoteResponse struct {
+	Store string `json:"store"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -199,7 +199,9 @@ func (s *Store) checkpointNow() error {
 
 // Close stops the checkpointer, writes a final checkpoint when the log has
 // grown since the last one (so the next start replays nothing), and seals
-// the write-ahead log. No-op on memory-only stores.
+// the write-ahead log. On follower stores it also seals the applier, and
+// on any store it closes the replication hub so wal-stream tailers end.
+// Memory-only stores with neither do nothing beyond refusing writes.
 //
 // Close is safe to race with Update: it first marks the store closed under
 // the write mutex, so every write that had already passed the closed check
@@ -210,14 +212,22 @@ func (s *Store) checkpointNow() error {
 // final checkpoint runs. Nothing deadlocks and no acknowledged (or even
 // staged) batch is stranded.
 func (s *Store) Close() error {
-	if s.wal == nil {
-		return nil
-	}
 	var err error
 	s.closeOnce.Do(func() {
 		s.writeMu.Lock()
 		s.closed = true
 		s.writeMu.Unlock()
+		// The applier stops after the closed mark so an apply in flight
+		// finishes (or fails cleanly) and nothing new starts; the hub
+		// closes after the applier so its last publish still reaches
+		// tailers before they see the end of stream.
+		s.stopApplier()
+		if h := s.hub.Load(); h != nil {
+			h.Close()
+		}
+		if s.wal == nil {
+			return
+		}
 		close(s.stopCh)
 		<-s.ckptDone
 		if s.commitStop != nil {

@@ -1,0 +1,385 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/prov"
+	"repro/internal/repl"
+)
+
+// Follower mode: a store that mirrors a leader's store by tailing its
+// wal-stream endpoint (GET /stores/{name}/wal, see internal/repl) and
+// feeding each delta through the same apply path crash recovery replays a
+// local log through — graph.ApplyDelta, then Recorder.IndexFrom over the
+// appended vertices, then an incremental freeze and the atomic epoch
+// pointer swap. A follower therefore serves the entire lock-free read API
+// at its applied epoch; writes are refused with a redirect to the leader
+// until Promote seals the applier and opens the write path.
+//
+// The applier is a retry loop around followOnce (one connection consumed
+// until it breaks). Any byte cut leaves the store at an exact epoch prefix
+// of the leader: the frame reader refuses torn or corrupt frames, and
+// applyReplicated refuses epoch gaps, so a partial stream can only ever
+// end cleanly between applied epochs. Reconnects resume from the applied
+// epoch; if the leader's ring has moved past it, the stream re-seeds from
+// a full checkpoint (resetReplicated).
+
+// ErrFollowerWrites reports a write routed to a follower store.
+var ErrFollowerWrites = errors.New("follower store: writes go to the leader")
+
+// ErrNotFollower reports a Promote on a store that is not (or no longer) a
+// follower.
+var ErrNotFollower = errors.New("store is not a follower")
+
+// defaultReconnectBackoff paces applier redials after a broken stream.
+const defaultReconnectBackoff = 250 * time.Millisecond
+
+// newFollowerStore builds a memory-only store that mirrors the same-named
+// store on the leader. The applier is not started; callers use
+// startApplier (production) or drive followOnce directly (tests).
+func newFollowerStore(name, leaderURL string, cacheCap int) *Store {
+	s := NewStore(prov.New(), cacheCap)
+	s.name = name
+	s.leaderURL = leaderURL
+	s.follower.Store(true)
+	return s
+}
+
+// startApplier launches the replication loop. backoff <= 0 selects the
+// default redial pace.
+func (s *Store) startApplier(hc *http.Client, backoff time.Duration) {
+	if backoff <= 0 {
+		backoff = defaultReconnectBackoff
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.applierCancel = cancel
+	s.applierDone = make(chan struct{})
+	go s.followLoop(ctx, hc, backoff)
+}
+
+// stopApplier cancels the replication loop and waits for it to exit.
+// No-op when none was started; safe to call more than once.
+func (s *Store) stopApplier() {
+	if s.applierCancel == nil {
+		return
+	}
+	s.applierCancel()
+	<-s.applierDone
+}
+
+// followLoop drives followOnce until the store is promoted or closed,
+// redialing with a fixed backoff after each broken stream.
+func (s *Store) followLoop(ctx context.Context, hc *http.Client, backoff time.Duration) {
+	defer close(s.applierDone)
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil || !s.follower.Load() {
+			return
+		}
+		if f := s.walFail.Load(); f != nil {
+			// Poisoned mid-apply: the live graph and the stream can no
+			// longer be reconciled. Published snapshots stay exactly where
+			// they were; redialing would only fail again.
+			if s.logger != nil {
+				s.logger.Error("replication stopped", "store", s.name, "err", f.err)
+			}
+			return
+		}
+		if attempt > 0 {
+			s.replReconnects.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+		}
+		err := s.followOnce(ctx, hc)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil && s.logger != nil {
+			s.logger.Debug("replication stream ended", "store", s.name, "epoch", s.snap.Load().N, "err", err)
+		}
+	}
+}
+
+// followOnce opens one replication stream at the applied epoch and
+// consumes it until it breaks (or the context cancels), applying every
+// snapshot and delta in order. The error is the reason the stream ended —
+// io.EOF for a clean leader-side close, wal.ErrTornFrame for a cut
+// connection; the store is a valid epoch prefix of the leader regardless.
+func (s *Store) followOnce(ctx context.Context, hc *http.Client) error {
+	st, err := repl.Open(ctx, hc, s.leaderURL, s.name, s.snap.Load().N)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	s.noteLeaderEpoch(st.LeaderEpoch())
+	for {
+		ev, err := st.Next()
+		if err != nil {
+			return err
+		}
+		s.noteLeaderEpoch(ev.LeaderEpoch)
+		switch ev.Kind {
+		case repl.KindMeta:
+			continue
+		case repl.KindSnapshot:
+			if err := s.resetReplicated(ev.Epoch, ev.Payload); err != nil {
+				return err
+			}
+		case repl.KindDelta:
+			if err := s.applyReplicated(ev.Epoch, ev.Payload); err != nil {
+				return err
+			}
+		}
+		if ev.PublishedNanos > 0 {
+			lag := time.Now().UnixNano() - ev.PublishedNanos
+			if lag < 0 {
+				lag = 0
+			}
+			s.replLagNs.Store(lag)
+			s.replLagHist.Observe(time.Duration(lag))
+		}
+	}
+}
+
+// noteLeaderEpoch records the leader's head epoch as seen on the stream.
+func (s *Store) noteLeaderEpoch(ep uint64) {
+	for {
+		cur := s.replLeaderEp.Load()
+		if ep <= cur || s.replLeaderEp.CompareAndSwap(cur, ep) {
+			return
+		}
+	}
+}
+
+// applyReplicated applies one leader delta: exactly the recovery replay
+// path (ApplyDelta + IndexFrom), then the standard incremental freeze and
+// publish. The epoch must extend the applied prefix contiguously — a gap
+// means this delta belongs to a future the store hasn't seen, and applying
+// it would corrupt the graph; the caller reconnects instead.
+func (s *Store) applyReplicated(epoch uint64, payload []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %w", ErrStoreClosed)
+	}
+	if !s.follower.Load() {
+		return fmt.Errorf("store: %w", ErrNotFollower)
+	}
+	if f := s.walFail.Load(); f != nil {
+		return fmt.Errorf("store: %w", f.err)
+	}
+	old := s.tail
+	if epoch != old.N+1 {
+		return fmt.Errorf("repl: delta for epoch %d cannot extend applied epoch %d", epoch, old.N)
+	}
+	firstNew := s.rec.P.NumVertices()
+	if err := s.rec.P.PG().ApplyDelta(bytes.NewReader(payload)); err != nil {
+		// The live graph may be partially mutated: poison the store so no
+		// further apply (or promoted write) builds on it. Published
+		// snapshots are frozen copies and remain an exact epoch prefix.
+		s.walFail.CompareAndSwap(nil, &walFailure{err: err})
+		return fmt.Errorf("repl: apply delta for epoch %d: %w", epoch, err)
+	}
+	s.rec.IndexFrom(graph.VertexID(firstNew))
+	start := time.Now()
+	fz, incremental := s.rec.P.ExtendFrozen(old.P)
+	s.observeFreeze(incremental, time.Since(start))
+	ep := &Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+	s.tail = ep
+	if s.hub.Load() != nil {
+		// The hub retains the payload (chained followers tail it), but the
+		// stream reader reuses its buffer on the next frame.
+		payload = append([]byte(nil), payload...)
+	}
+	s.publish(ep, old, payload)
+	return nil
+}
+
+// resetReplicated replaces the store's state with a full leader checkpoint
+// at the given epoch — the re-seed path when the leader's delta ring no
+// longer covers the applied epoch. The graph is validated and indexed
+// exactly as a local checkpoint would be at startup; the segment cache is
+// purged wholesale (delta revalidation assumes append-only continuity,
+// which a snapshot jump breaks) and the hub is rebased, ending any chained
+// followers' streams so they re-seed too.
+func (s *Store) resetReplicated(epoch uint64, data []byte) error {
+	g, err := graph.Load(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("repl: checkpoint at epoch %d: %w", epoch, err)
+	}
+	p := prov.Wrap(g)
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("repl: checkpoint at epoch %d: %w", epoch, err)
+	}
+	rec := prov.WrapRecorder(p)
+	start := time.Now()
+	fz := p.Freeze()
+	freeze := time.Since(start)
+
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %w", ErrStoreClosed)
+	}
+	if !s.follower.Load() {
+		return fmt.Errorf("store: %w", ErrNotFollower)
+	}
+	if epoch < s.tail.N {
+		return fmt.Errorf("repl: checkpoint at epoch %d behind applied epoch %d", epoch, s.tail.N)
+	}
+	s.observeFreeze(false, freeze)
+	ep := &Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+	if epoch == 0 && ep.Vertices > 0 {
+		// The leader shipped a non-empty epoch-0 base: chained followers
+		// reading this store's wal stream need the same checkpoint seeding.
+		s.nonEmptyBase.Store(true)
+	}
+	s.rec = rec
+	s.tail = ep
+	s.cache.reset(epoch)
+	s.snap.Store(ep)
+	ch := make(chan struct{})
+	close(*s.epochWait.Swap(&ch))
+	if h := s.hub.Load(); h != nil {
+		h.Rebase(epoch)
+	}
+	s.signalPub()
+	return nil
+}
+
+// Promote seals the applier and opens the write path: the store stops
+// being a follower, in-flight applies finish or fail cleanly, and the next
+// Update commits epoch N+1 on top of the applied prefix. Returns
+// ErrNotFollower if the store is not (or no longer) one — promotion is
+// not idempotent so that exactly one caller wins a failover race.
+func (s *Store) Promote() error {
+	if !s.follower.CompareAndSwap(true, false) {
+		return fmt.Errorf("store %q: %w", s.name, ErrNotFollower)
+	}
+	s.stopApplier()
+	if s.logger != nil {
+		s.logger.Info("store promoted", "store", s.name, "epoch", s.snap.Load().N, "leader", s.leaderURL)
+	}
+	return nil
+}
+
+// Follower reports whether the store currently applies a leader's stream.
+func (s *Store) Follower() bool { return s.follower.Load() }
+
+// LeaderURL returns the leader this store replicates (or replicated) from;
+// empty for stores that were never followers.
+func (s *Store) LeaderURL() string { return s.leaderURL }
+
+// EnableRepl turns on the replication hub: from now on every published
+// epoch's delta is retained in a bounded ring for wal-stream tailers. The
+// first wal-stream request calls this lazily, so stores nobody replicates
+// never pay for delta retention (or, on memory-only stores, for delta
+// encoding at all). Idempotent.
+func (s *Store) EnableRepl() *repl.Hub {
+	if h := s.hub.Load(); h != nil {
+		return h
+	}
+	// Under writeMu so memory-only commits start encoding deltas exactly
+	// from the next epoch; the hub bases at the published snapshot, which
+	// staged-but-unpublished group batches (that all carry payloads) will
+	// extend contiguously as they publish.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if h := s.hub.Load(); h != nil {
+		return h
+	}
+	h := repl.NewHub(0, s.snap.Load().N)
+	s.hub.Store(h)
+	return h
+}
+
+// SnapshotBytes serializes the current epoch's graph in the binary .pg
+// format — the checkpoint frame a wal stream opens with when its tail ring
+// no longer covers the requested epoch. Lock-free: the snapshot is
+// immutable.
+func (s *Store) SnapshotBytes() (uint64, []byte, error) {
+	ep := s.snap.Load()
+	var buf bytes.Buffer
+	if err := ep.P.PG().Save(&buf); err != nil {
+		return 0, nil, err
+	}
+	return ep.N, buf.Bytes(), nil
+}
+
+// WaitEpoch blocks until the published epoch reaches min, the timeout
+// elapses, or the store closes, reporting whether the epoch was reached —
+// the serving half of the read-your-writes token (X-Min-Epoch). On a
+// leader this returns immediately (a client can only hold tokens for
+// epochs the leader has published); on a follower it parks on the publish
+// wake channel until the applier catches up.
+func (s *Store) WaitEpoch(min uint64, timeout time.Duration) bool {
+	if s.snap.Load().N >= min {
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		ch := *s.epochWait.Load()
+		if s.snap.Load().N >= min {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return s.snap.Load().N >= min
+		}
+	}
+}
+
+// ReplStats is the /metrics repl panel, present on stores that are (or
+// were) followers: the applied and leader epochs, the record and
+// wall-clock lag, and the reconnect count, plus the apply-lag latency
+// digest the bench panel reads p99 from.
+type ReplStats struct {
+	Follower     bool   `json:"follower"`
+	LeaderURL    string `json:"leader_url"`
+	AppliedEpoch uint64 `json:"applied_epoch"`
+	LeaderEpoch  uint64 `json:"leader_epoch"`
+	// LagRecords is leader epoch minus applied epoch (0 when caught up or
+	// when the leader epoch is not yet known).
+	LagRecords int64 `json:"lag_records"`
+	// LagNanos is the publish-to-apply wall-clock lag of the most recently
+	// applied record.
+	LagNanos   int64  `json:"lag_ns"`
+	Reconnects uint64 `json:"reconnects"`
+	// Lag digests the per-record apply lag distribution.
+	Lag obs.LatencySummary `json:"lag"`
+}
+
+// ReplStatsSnapshot returns the replication counters, or nil for stores
+// that were never followers (the JSON panel omits the section).
+func (s *Store) ReplStatsSnapshot() *ReplStats {
+	if s.leaderURL == "" {
+		return nil
+	}
+	applied := s.snap.Load().N
+	leader := s.replLeaderEp.Load()
+	lag := int64(0)
+	if leader > applied {
+		lag = int64(leader - applied)
+	}
+	return &ReplStats{
+		Follower:     s.follower.Load(),
+		LeaderURL:    s.leaderURL,
+		AppliedEpoch: applied,
+		LeaderEpoch:  leader,
+		LagRecords:   lag,
+		LagNanos:     s.replLagNs.Load(),
+		Reconnects:   s.replReconnects.Load(),
+		Lag:          s.replLagHist.Summary(),
+	}
+}

@@ -26,6 +26,7 @@ import (
 //	provd_wal_*{store}, provd_checkpoint_*{store}        durability panels
 //	provd_group_commit_*{store}                          group-commit panel
 //	provd_qos_*{store}                                   admission control
+//	provd_repl_*{store}                                  replication panel
 //	provd_coalescer_*{store}                             shared sync windows
 //	provd_slow_queries_total                             slow-ring admissions
 //
@@ -142,6 +143,25 @@ func writeStoreProm(m *obs.MetricWriter, st *Store) {
 	m.Sample("provd_qos_rate_limit", []obs.Label{store}, qos.Config.RatePerSec)
 	m.Header("provd_qos_max_concurrent", "Configured concurrency cap (0 = unlimited).", "gauge")
 	m.Sample("provd_qos_max_concurrent", []obs.Label{store}, float64(qos.Config.MaxConcurrent))
+
+	if rs := st.ReplStatsSnapshot(); rs != nil {
+		follower := 0.0
+		if rs.Follower {
+			follower = 1.0
+		}
+		m.Header("provd_repl_follower", "Whether the store is a read-only follower (1) or writable (0).", "gauge")
+		m.Sample("provd_repl_follower", []obs.Label{store}, follower)
+		m.Header("provd_repl_applied_epoch", "Last epoch applied from the leader's stream.", "gauge")
+		m.Sample("provd_repl_applied_epoch", []obs.Label{store}, float64(rs.AppliedEpoch))
+		m.Header("provd_repl_leader_epoch", "Leader's head epoch as last reported on the stream.", "gauge")
+		m.Sample("provd_repl_leader_epoch", []obs.Label{store}, float64(rs.LeaderEpoch))
+		m.Header("provd_repl_lag_records", "Epochs the follower trails the leader by.", "gauge")
+		m.Sample("provd_repl_lag_records", []obs.Label{store}, float64(rs.LagRecords))
+		m.Header("provd_repl_lag_seconds", "Commit-to-apply latency of the most recent replicated record.", "gauge")
+		m.Sample("provd_repl_lag_seconds", []obs.Label{store}, float64(rs.LagNanos)/1e9)
+		m.Header("provd_repl_reconnects_total", "Times the applier redialed the leader.", "counter")
+		m.Sample("provd_repl_reconnects_total", []obs.Label{store}, float64(rs.Reconnects))
+	}
 
 	ds := st.DurabilityStatsSnapshot()
 	if ds == nil {

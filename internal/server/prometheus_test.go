@@ -110,9 +110,9 @@ func TestPrometheusExposition(t *testing.T) {
 
 	// The ingest endpoints committed, so their quantile gauges and stage
 	// histograms must carry samples; two stores must each contribute a
-	// latency histogram per endpoint (9 endpoints x 2 stores).
-	if got := samples["provd_request_latency_seconds_count"]; got != 18 {
-		t.Errorf("latency _count series = %d, want 18", got)
+	// latency histogram per endpoint (11 endpoints x 2 stores).
+	if got := samples["provd_request_latency_seconds_count"]; got != 22 {
+		t.Errorf("latency _count series = %d, want 22", got)
 	}
 	if got := samples["provd_commit_stage_latency_seconds_count"]; got != 8 {
 		t.Errorf("stage _count series = %d, want 8 (4 stages x 2 stores)", got)

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -107,6 +109,16 @@ type Registry struct {
 	// coal is the registry-wide fsync coalescer durable stores commit
 	// through (nil when disabled or memory-only). Closed after the stores.
 	coal *wal.Coalescer
+
+	// Follower mode (see follow_registry.go): the leader being mirrored,
+	// the HTTP client shared by discovery polls and replication streams,
+	// the applier redial pace, and the discovery loop's lifecycle. All
+	// zero on ordinary registries.
+	leaderURL      string
+	replClient     *http.Client
+	replBackoff    time.Duration
+	discoverCancel context.CancelFunc
+	discoverDone   chan struct{}
 
 	mu     sync.RWMutex
 	stores map[string]*Store
@@ -366,6 +378,9 @@ func (r *Registry) Coalescer() *wal.Coalescer { return r.coal }
 // committers are drained by then, and a straggler would still fall back to
 // a direct fsync rather than fail.
 func (r *Registry) Close() error {
+	// Follower registries: stop discovery before the stores so no new
+	// applier starts while the map is being torn down.
+	r.CloseFollow()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/prov"
+	"repro/internal/repl"
 )
 
 // Limits protecting the service from oversized or runaway requests.
@@ -137,6 +138,8 @@ func NewMultiServerWith(reg *Registry, opts Options) *Server {
 		{"GET", "/metrics", "metrics", s.handleMetrics},
 		{"GET", "/healthz", "healthz", s.handleHealthz},
 		{"GET", "/export", "export", s.handleExport},
+		{"GET", "/wal", "wal", s.handleWALStream},
+		{"POST", "/promote", "promote", s.handlePromote},
 	} {
 		ep := ep
 		s.mux.HandleFunc(ep.method+" "+ep.path, func(w http.ResponseWriter, r *http.Request) {
@@ -174,11 +177,72 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so chunked streams (the wal
+// endpoint) can push frames through the metrics wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // admissionExempt reports endpoints that bypass the store's QoS limits:
 // health probes and metrics scrapes must keep answering on an overloaded
 // (or deliberately throttled) store — they are how the overload is seen.
+// Replication streams are exempt too: a wal tail lives for hours and would
+// otherwise pin a concurrency slot, and promote is the failover control
+// path — exactly when a store may be throttled.
 func admissionExempt(endpoint string) bool {
-	return endpoint == "metrics" || endpoint == "healthz"
+	switch endpoint {
+	case "metrics", "healthz", "wal", "promote":
+		return true
+	}
+	return false
+}
+
+// Read-your-writes wait bounds: how long a request holding an X-Min-Epoch
+// token may park for the applier by default, and the cap on what
+// X-Min-Epoch-Wait-Ms can ask for.
+const (
+	defaultMinEpochWait = 2 * time.Second
+	maxMinEpochWait     = 10 * time.Second
+)
+
+// minEpochSatisfied enforces the read-your-writes token: a request
+// presenting X-Min-Epoch waits (bounded) for the store's published epoch
+// to reach it. On timeout the reply is 412 with the leader's address — the
+// client can retry there, where the token is satisfied by construction.
+// Returns false when the response has been written.
+func minEpochSatisfied(st *Store, w http.ResponseWriter, r *http.Request) bool {
+	v := r.Header.Get(repl.HeaderMinEpoch)
+	if v == "" {
+		return true
+	}
+	min, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad %s %q: %v", repl.HeaderMinEpoch, v, err)
+		return false
+	}
+	wait := defaultMinEpochWait
+	if ms := r.Header.Get(repl.HeaderMinEpochWait); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad %s %q", repl.HeaderMinEpochWait, ms)
+			return false
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if wait > maxMinEpochWait {
+			wait = maxMinEpochWait
+		}
+	}
+	if st.WaitEpoch(min, wait) {
+		return true
+	}
+	if leader := st.LeaderURL(); leader != "" {
+		w.Header().Set(repl.HeaderLeader, leader)
+	}
+	writeErr(w, http.StatusPreconditionFailed,
+		"store %q: epoch %d not reached (at %d)", st.Name(), min, st.Epoch().N)
+	return false
 }
 
 // retryAfterSeconds renders a Retry-After hint in the header's
@@ -216,7 +280,9 @@ func (s *Server) serveEndpoint(st *Store, ep endpointDef, w http.ResponseWriter,
 	if admissionExempt(ep.name) {
 		ep.h(st, sw, r.WithContext(ctx))
 	} else if release, retry, ok := st.Admit(); ok {
-		ep.h(st, sw, r.WithContext(ctx))
+		if minEpochSatisfied(st, sw, r) {
+			ep.h(st, sw, r.WithContext(ctx))
+		}
 		release()
 	} else {
 		sw.Header().Set("Retry-After", retryAfterSeconds(retry))
@@ -523,6 +589,10 @@ func (s *Server) handleQuery(st *Store, w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request) {
+	if st.Follower() {
+		redirectToLeader(st.LeaderURL(), w, r)
+		return
+	}
 	var req IngestRequest
 	if !decode(w, r, &req) {
 		return
@@ -532,7 +602,7 @@ func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request)
 		return
 	}
 	resp := IngestResponse{Results: make([]IngestResult, 0, len(req.Ops))}
-	err := st.UpdateCtx(r.Context(), func(rec *prov.Recorder) error {
+	epoch, err := st.updateEpoch(r.Context(), func(rec *prov.Recorder) error {
 		// Validate the whole batch against the pre-batch graph first so the
 		// batch applies atomically: either every op commits or none does.
 		// Input ids must reference vertices that existed before the batch
@@ -580,7 +650,22 @@ func (s *Server) handleIngest(st *Store, w http.ResponseWriter, r *http.Request)
 		}
 		return
 	}
+	// The committed epoch doubles as a read-your-writes token: pass it back
+	// as X-Min-Epoch on a follower read and the reply is guaranteed to
+	// reflect this batch.
+	resp.Epoch = epoch
 	writeJSON(w, http.StatusOK, &resp)
+}
+
+// redirectToLeader answers a write aimed at a follower store: 307 with a
+// Location on the leader (same path, so a client that follows redirects
+// just works) plus the X-Repl-Leader header for clients that re-aim
+// themselves.
+func redirectToLeader(leader string, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(repl.HeaderLeader, leader)
+	w.Header().Set("Location", leader+r.URL.Path)
+	writeErr(w, http.StatusTemporaryRedirect,
+		"store is a read-only follower; write to the leader at %s", leader)
 }
 
 // validateOp checks one ingest op against the current graph; it must reject
@@ -674,8 +759,43 @@ func (s *Server) handleMetrics(st *Store, w http.ResponseWriter, r *http.Request
 		Endpoints:    st.EndpointStatsSnapshot(),
 		Stages:       st.StageStats(),
 		QoS:          st.QoSStatsSnapshot(),
+		Repl:         st.ReplStatsSnapshot(),
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWALStream serves GET /stores/{name}/wal?from=N: the replication
+// stream — checkpoint (if the ring no longer covers from+1) followed by the
+// live log tail, framed exactly as on-disk WAL records. Works on any store,
+// including followers (chained replication reads the replicated ring).
+func (s *Server) handleWALStream(st *Store, w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad from %q: %v", v, err)
+			return
+		}
+		from = n
+	}
+	repl.ServeStream(w, r, repl.ServeOptions{
+		From:          from,
+		Hub:           st.EnableRepl(),
+		Snapshot:      st.SnapshotBytes,
+		ForceSnapshot: from == 0 && st.nonEmptyBase.Load(),
+	})
+}
+
+// handlePromote serves POST /stores/{name}/promote: seal the follower's
+// applier and open the write path. Idempotence is deliberate one-way —
+// promoting a store that is already a leader is a 409, so an operator
+// script that raced another promotion finds out.
+func (s *Server) handlePromote(st *Store, w http.ResponseWriter, r *http.Request) {
+	if err := st.Promote(); err != nil {
+		writeErr(w, http.StatusConflict, "promote: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Store: st.Name(), Epoch: st.Epoch().N})
 }
 
 // handleSlow serves GET /debug/slow: the slow-query ring, newest first,
@@ -699,6 +819,12 @@ func (s *Server) handleHealthz(st *Store, w http.ResponseWriter, r *http.Request
 // everything is validated before the data directory is touched: a hostile
 // name or a malformed body gets a uniform JSON 400 with no store created.
 func (s *Server) handleStoreCreate(w http.ResponseWriter, r *http.Request) {
+	if leader := s.reg.FollowerOf(); leader != "" {
+		// Follower registries mirror the leader's store set via discovery;
+		// creating here would fork the topology.
+		redirectToLeader(leader, w, r)
+		return
+	}
 	name := r.PathValue("store")
 	if !ValidStoreName(name) {
 		writeErr(w, http.StatusBadRequest, "invalid store name %q (want 1-%d chars of [a-zA-Z0-9_-])", name, maxStoreName)

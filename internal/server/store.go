@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/prov"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -168,6 +169,35 @@ type Store struct {
 	appendSeq atomic.Uint64
 	syncedSeq atomic.Uint64
 
+	// Replication (see follower.go and internal/repl). hub, once enabled,
+	// receives every published (epoch, delta) pair and is what wal-stream
+	// requests tail; nil until the first follower connects (EnableRepl) so
+	// stores nobody replicates pay nothing. epochWait is the
+	// read-your-writes wake channel: publish closes and replaces it, and
+	// WaitEpoch blocks on it until the snapshot reaches a client's token.
+	hub       atomic.Pointer[repl.Hub]
+	epochWait atomic.Pointer[chan struct{}]
+	// nonEmptyBase records that the store's epoch-0 graph already held
+	// vertices (generated, loaded, or recovered from a checkpoint): that
+	// state exists in no delta, so a from=0 wal stream must open with a
+	// checkpoint frame even while the hub ring still covers epoch 1.
+	nonEmptyBase atomic.Bool
+
+	// Follower state (newFollowerStore): follower marks the store as
+	// applying a leader's stream — writes are refused and /ingest
+	// redirects — until Promote clears it. The applier goroutine's
+	// lifecycle and the repl metrics counters live here; leaderURL is set
+	// once at construction and never cleared (a promoted store keeps
+	// reporting where it replicated from).
+	follower       atomic.Bool
+	leaderURL      string
+	applierCancel  context.CancelFunc
+	applierDone    chan struct{}
+	replLeaderEp   atomic.Uint64
+	replLagNs      atomic.Int64
+	replLagHist    obs.Histogram
+	replReconnects atomic.Uint64
+
 	// Admission control (see qos.go): the active limiter (nil = no limits)
 	// and the admit/reject counters, kept on the store so config swaps
 	// don't reset them.
@@ -211,7 +241,7 @@ type syncJob struct {
 // endpointNames are the per-store request counters surfaced in /metrics.
 var endpointNames = []string{
 	"segment", "summarize", "query", "adjust", "ingest",
-	"stats", "metrics", "healthz", "export",
+	"stats", "metrics", "healthz", "export", "wal", "promote",
 }
 
 // Status-class indices of endpointMetrics.classes. Informational and
@@ -303,10 +333,18 @@ func newStore(p *prov.Graph, rec *prov.Recorder, cacheCap int, epoch uint64) *St
 	for _, name := range endpointNames {
 		s.requests[name] = &endpointMetrics{}
 	}
+	ch := make(chan struct{})
+	s.epochWait.Store(&ch)
 	start := time.Now()
 	fz := p.Freeze()
 	s.observeFreeze(false, time.Since(start))
 	ep := &Epoch{N: epoch, P: fz, Vertices: fz.NumVertices(), Edges: fz.NumEdges()}
+	if ep.Vertices > 0 {
+		// A non-empty initial graph (loaded, generated, or recovered from a
+		// checkpoint) is state no WAL delta reproduces: from=0 replication
+		// streams must open with a checkpoint frame.
+		s.nonEmptyBase.Store(true)
+	}
 	s.snap.Store(ep)
 	s.tail = ep
 	return s
@@ -453,6 +491,14 @@ func (s *Store) Update(fn func(rec *prov.Recorder) error) error {
 // the commit: once fn has mutated the graph the batch must reach the log,
 // so ctx is trace metadata, not a deadline.
 func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error) error {
+	_, err := s.updateEpoch(ctx, fn)
+	return err
+}
+
+// updateEpoch is the UpdateCtx body, additionally returning the committed
+// (and, for acknowledged batches, durable and published) epoch number —
+// the read-your-writes token ingest responses hand back to clients.
+func (s *Store) updateEpoch(ctx context.Context, fn func(rec *prov.Recorder) error) (uint64, error) {
 	stages := obs.StagesFrom(ctx)
 	s.writeMu.Lock()
 	// Deferred so a panic in fn (or in delta encoding / the freeze) releases
@@ -465,10 +511,13 @@ func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error
 		}
 	}()
 	if s.closed {
-		return fmt.Errorf("store: %w", ErrStoreClosed)
+		return 0, fmt.Errorf("store: %w", ErrStoreClosed)
+	}
+	if s.follower.Load() {
+		return 0, fmt.Errorf("store: %w (leader: %s)", ErrFollowerWrites, s.leaderURL)
 	}
 	if f := s.walFail.Load(); f != nil {
-		return fmt.Errorf("store: writes disabled after write-ahead log failure: %w", f.err)
+		return 0, fmt.Errorf("store: writes disabled after write-ahead log failure: %w", f.err)
 	}
 	// Backpressure: a commit queue at its configured cap rejects the batch
 	// here — before fn mutates the graph — so the writer gets a clean 429
@@ -476,24 +525,26 @@ func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error
 	if s.groupCommit {
 		if l := s.qos.Load(); l != nil && l.cfg.MaxQueue > 0 && len(s.commitCh) >= l.cfg.MaxQueue {
 			s.qosRejectedQueue.Add(1)
-			return fmt.Errorf("store: %w (%d batches staged)", ErrBackpressure, len(s.commitCh))
+			return 0, fmt.Errorf("store: %w (%d batches staged)", ErrBackpressure, len(s.commitCh))
 		}
 	}
 	if err := fn(s.rec); err != nil {
-		return err
+		return 0, err
 	}
 	// The delta and the snapshot both build against the staged tail, not the
 	// published snapshot: under group commit earlier batches may still be
 	// waiting on their group fsync, and this batch extends them.
 	old := s.tail
 	var payload []byte
-	if s.wal != nil {
+	if s.wal != nil || s.hub.Load() != nil {
+		// The delta feeds the log, the replication hub, or both.
 		start := time.Now()
 		var buf bytes.Buffer
 		if err := s.rec.P.PG().EncodeDelta(&buf, old.P.PG().Dict().Len(), old.Vertices, old.Edges); err != nil {
-			// The graph mutated but nothing can be logged: unreconcilable.
+			// The graph mutated but nothing can be logged or replicated:
+			// unreconcilable.
 			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
-			return fmt.Errorf("store: write-ahead log: %w", err)
+			return 0, fmt.Errorf("store: write-ahead log: %w", err)
 		}
 		payload = buf.Bytes()
 		if stages != nil {
@@ -521,7 +572,10 @@ func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error
 		s.commitCh <- req
 		locked = false
 		s.writeMu.Unlock()
-		return <-req.done
+		if err := <-req.done; err != nil {
+			return 0, err
+		}
+		return ep.N, nil
 	}
 
 	if s.wal != nil {
@@ -531,15 +585,15 @@ func (s *Store) UpdateCtx(ctx context.Context, fn func(rec *prov.Recorder) error
 		s.observeAppend(tm, stages)
 		if err != nil {
 			s.walFail.CompareAndSwap(nil, &walFailure{err: err})
-			return fmt.Errorf("store: write-ahead log: %w", err)
+			return 0, fmt.Errorf("store: write-ahead log: %w", err)
 		}
 	}
 	s.tail = ep
 	start = time.Now()
-	s.publish(ep, old)
+	s.publish(ep, old, payload)
 	s.observePublish(time.Since(start), stages)
 	s.logCommit(ctx, obs.RequestID(ctx), ep, 1)
-	return nil
+	return ep.N, nil
 }
 
 // observeAppend records an append's write/fsync split into the stage
@@ -580,13 +634,27 @@ func (s *Store) logCommit(ctx context.Context, reqID string, ep *Epoch, group in
 }
 
 // publish makes a durable (or memory-only) epoch visible: the cache is
-// revalidated against the delta, the snapshot pointer swaps, a drain waiter
-// is woken, and the checkpointer is signaled per the cadence. Callers
+// revalidated against the delta, the snapshot pointer swaps, epoch waiters
+// and a drain waiter are woken, the replication hub (when enabled) takes
+// the delta, and the checkpointer is signaled per the cadence. Callers
 // guarantee epochs are published in order — either under writeMu (inline
-// paths) or from the single committer goroutine.
-func (s *Store) publish(ep, old *Epoch) {
+// paths) or from the single committer goroutine. payload is the epoch's
+// encoded delta (nil only when nothing consumes deltas, or on a follower
+// snapshot reset, which rebases the hub instead).
+func (s *Store) publish(ep, old *Epoch, payload []byte) {
 	s.cache.advance(ep, old)
 	s.snap.Store(ep)
+	// Wake read-your-writes waiters strictly after the snapshot swap: a
+	// woken waiter re-reads the epoch and must see at least ep.
+	ch := make(chan struct{})
+	close(*s.epochWait.Swap(&ch))
+	if h := s.hub.Load(); h != nil {
+		if payload != nil {
+			h.Publish(ep.N, payload, time.Now().UnixNano())
+		} else {
+			h.Rebase(ep.N)
+		}
+	}
 	s.signalPub()
 	if s.wal != nil {
 		if n := s.sinceCkpt.Add(1); s.checkpointEvery > 0 && n >= int64(s.checkpointEvery) {
@@ -775,7 +843,7 @@ func (s *Store) retireGroup(group []*commitReq) {
 	}
 	for _, req := range group {
 		start := time.Now()
-		s.publish(req.ep, req.old)
+		s.publish(req.ep, req.old, req.payload)
 		s.observePublish(time.Since(start), req.stages)
 		s.logCommit(context.Background(), req.reqID, req.ep, len(group))
 		// Resolved moves only after the publish is visible, so a drain

@@ -14,8 +14,8 @@ import (
 // TestFigureRegistry: every advertised panel id resolves and unknown ids
 // do not.
 func TestFigureRegistry(t *testing.T) {
-	if len(IDs()) != 14 {
-		t.Fatalf("want 14 panels, got %v", IDs())
+	if len(IDs()) != 15 {
+		t.Fatalf("want 15 panels, got %v", IDs())
 	}
 	if _, ok := ByID("9z", ScaleSmall); ok {
 		t.Fatal("phantom figure")
@@ -195,6 +195,48 @@ func TestFigVecTiny(t *testing.T) {
 		t.Skip("vec sweep regenerates Pd graphs")
 	}
 	fig := FigVec(ScaleSmall)
+	if len(fig.Rows) != 2 {
+		t.Fatalf("want 2 size points, got %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, s := range fig.Series {
+			if r.Cells[s] == "" {
+				t.Fatalf("empty cell %s at N=%s", s, r.X)
+			}
+		}
+	}
+}
+
+// TestSegSolverEquivalence drives the seg panel's inline four-way solver
+// gate on a tiny frozen graph — the scalar and set-at-a-time VC2 solvers
+// must produce identical results before any timing is trusted. This is the
+// CI smoke for the panel; the full sweep runs via provbench.
+func TestSegSolverEquivalence(t *testing.T) {
+	p := pdGraph(gen.PdConfig{N: 500, Seed: 1})
+	src, dst := gen.QueryAtRank(p, 0)
+	fz := p.Freeze()
+	assertSegSolversAgree(fz, src, dst, true)  // DiffSolvers; panics on divergence
+	assertSegSolversAgree(fz, src, dst, false) // inline Tst + segment parity path
+	d, ok := timeVC2Best(fz, src, dst, core.Options{Solver: core.SolverTst, ForceVecSolver: true}, 2)
+	if !ok || d < 0 {
+		t.Fatalf("VC2 timing: %v ok=%v", d, ok)
+	}
+	if c := cell(d, ok); c == "" || c == "oom" {
+		t.Fatalf("cell rendered %q", c)
+	}
+	if c := cell(0, false); c != "oom" {
+		t.Fatalf("tripped budget rendered %q, want oom", c)
+	}
+}
+
+// TestFigSegTiny runs the solver panel's row loop at toy sizes, crossing
+// the algMax boundary so both the four-way and the beyond-reach branches
+// render; every cell must be populated.
+func TestFigSegTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seg sweep regenerates Pd graphs")
+	}
+	fig := figSeg([]int{400, 900}, 400, 200_000, 1)
 	if len(fig.Rows) != 2 {
 		t.Fatalf("want 2 size points, got %d", len(fig.Rows))
 	}

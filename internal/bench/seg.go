@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graph/difftest"
+	"repro/internal/prov"
+)
+
+// Panel "seg": the VC2 segmentation solvers themselves — the scalar
+// worklist algorithms vs the set-at-a-time passes over the CSR bitmap
+// kernels (core/simprovvec.go) — on frozen Pd snapshots. This is the layer
+// the "vec" panel could not move: after PR 7 vectorized the closures and
+// the planner, segmentation runtime was dominated by the per-vertex solver
+// worklists and the seg series recorded ~1.0x. Three workloads per size:
+// SimProvTst VC2 alone, SimProvAlg VC2 alone (skipped where the scalar
+// worklist stops being feasible), and the full PgSeg segmentation with the
+// solver forced each way. Before timing each size, the panel asserts the
+// solver variants produce identical results — a benchmark of diverging
+// solvers would be meaningless.
+
+// timeVC2Best measures one VC2 evaluation under opts, best of reps; ok is
+// false when the fact budget trips (rendered "oom", the paper's OOM).
+func timeVC2Best(p *prov.Graph, src, dst []graph.VertexID, opts core.Options, reps int) (time.Duration, bool) {
+	eng := core.NewEngine(p, opts)
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := eng.SimilarPaths(core.Query{Src: src, Dst: dst}); err != nil {
+			return 0, false
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// cell renders a measured duration ("oom" on a tripped budget).
+func cell(d time.Duration, ok bool) string {
+	if !ok {
+		return "oom"
+	}
+	return secs(d)
+}
+
+// assertSegSolversAgree is the inline row-equality gate. Where the scalar
+// SimProvAlg is timed it runs the full four-way solver matrix
+// (difftest.DiffSolvers); at sizes beyond the scalar worklist's reach it
+// still asserts SimProvTst scalar-vs-vec VC2 equality and whole-segment
+// parity with the solver forced each way.
+func assertSegSolversAgree(p *prov.Graph, src, dst []graph.VertexID, includeAlg bool) {
+	q := core.Query{Src: src, Dst: dst}
+	if includeAlg {
+		if err := difftest.DiffSolvers(p, q); err != nil {
+			panic(fmt.Sprintf("bench seg: solver divergence: %v", err))
+		}
+		return
+	}
+	sv, err := core.NewEngine(p, core.Options{Solver: core.SolverTst, ScalarTraversal: true}).SimilarPaths(q)
+	if err != nil {
+		panic(err)
+	}
+	vv, err := core.NewEngine(p, core.Options{Solver: core.SolverTst, ForceVecSolver: true}).SimilarPaths(q)
+	if err != nil {
+		panic(err)
+	}
+	sl, vl := sv.ToSlice(), vv.ToSlice()
+	if len(sl) != len(vl) {
+		panic(fmt.Sprintf("bench seg: VC2 size divergence: scalar %d vs vec %d", len(sl), len(vl)))
+	}
+	for i := range sl {
+		if sl[i] != vl[i] {
+			panic(fmt.Sprintf("bench seg: VC2 divergence at %d: scalar %d vs vec %d", i, sl[i], vl[i]))
+		}
+	}
+	ss, err := core.NewEngine(p, core.Options{ScalarTraversal: true}).Segment(q)
+	if err != nil {
+		panic(err)
+	}
+	vs, err := core.NewEngine(p, core.Options{ForceVecSolver: true}).Segment(q)
+	if err != nil {
+		panic(err)
+	}
+	if len(ss.Vertices) != len(vs.Vertices) || len(ss.Edges) != len(vs.Edges) {
+		panic(fmt.Sprintf("bench seg: segment divergence: %d/%d vertices, %d/%d edges",
+			len(ss.Vertices), len(vs.Vertices), len(ss.Edges), len(vs.Edges)))
+	}
+	for i := range ss.Vertices {
+		if ss.Vertices[i] != vs.Vertices[i] {
+			panic(fmt.Sprintf("bench seg: segment vertex divergence at %d", i))
+		}
+	}
+}
+
+// FigSeg compares the scalar and vectorized VC2 solvers across graph sizes.
+func FigSeg(scale Scale) Figure {
+	var ns []int
+	// The scalar SimProvAlg worklist (and the four-way DiffSolvers gate,
+	// which runs it without a fact budget) stops being affordable past
+	// ~20000 vertices — the same wall Fig. 5a's Alg series hits.
+	const algMax = 20000
+	maxFacts := 20_000_000
+	const reps = 3
+	switch scale {
+	case ScaleSmall:
+		ns = []int{5000, 20000}
+	case ScaleMedium:
+		ns = []int{20000, 50000, 100000}
+		maxFacts = 60_000_000
+	default:
+		ns = []int{100000, 300000, 1000000}
+		maxFacts = 60_000_000
+	}
+	return figSeg(ns, algMax, maxFacts, reps)
+}
+
+// figSeg is the measurement core behind FigSeg, parameterized so the test
+// suite can drive the full row loop (including the beyond-algMax skip
+// branch) at toy sizes.
+func figSeg(ns []int, algMax, maxFacts, reps int) Figure {
+	fig := Figure{
+		ID:      "seg",
+		Caption: "scalar vs vectorized VC2 solvers (frozen Pd snapshots)",
+		XLabel:  "N",
+		YLabel:  "runtime",
+		Series: []string{"tst scalar", "tst vec", "tst speedup",
+			"alg scalar", "alg vec", "alg speedup",
+			"segment scalar", "segment vec", "segment speedup"},
+	}
+	speedup := func(scalar, vec time.Duration, ok bool) string {
+		if !ok || vec <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", float64(scalar)/float64(vec))
+	}
+	for _, n := range ns {
+		p := pdGraph(gen.PdConfig{N: n, Seed: 1})
+		src, dst := gen.QueryAtRank(p, 0)
+		fz := p.Freeze()
+		includeAlg := n <= algMax
+
+		assertSegSolversAgree(fz, src, dst, includeAlg)
+
+		row := Row{X: fmt.Sprint(n), Cells: map[string]string{}}
+		scalarTst := core.Options{Solver: core.SolverTst, ScalarTraversal: true}
+		vecTst := core.Options{Solver: core.SolverTst, ForceVecSolver: true}
+		ts, tsOK := timeVC2Best(fz, src, dst, scalarTst, reps)
+		tv, tvOK := timeVC2Best(fz, src, dst, vecTst, reps)
+		row.Cells["tst scalar"] = cell(ts, tsOK)
+		row.Cells["tst vec"] = cell(tv, tvOK)
+		row.Cells["tst speedup"] = speedup(ts, tv, tsOK && tvOK)
+		vecAlg := core.Options{Solver: core.SolverAlg, ForceVecSolver: true, MaxFacts: maxFacts}
+		if includeAlg {
+			scalarAlg := core.Options{Solver: core.SolverAlg, ScalarTraversal: true, MaxFacts: maxFacts}
+			as, asOK := timeVC2Best(fz, src, dst, scalarAlg, reps)
+			av, avOK := timeVC2Best(fz, src, dst, vecAlg, reps)
+			row.Cells["alg scalar"] = cell(as, asOK)
+			row.Cells["alg vec"] = cell(av, avOK)
+			row.Cells["alg speedup"] = speedup(as, av, asOK && avOK)
+		} else {
+			// The scalar worklist's per-pair churn stops being worth the
+			// burn here (Fig. 5a's Alg series dies near this scale).
+			row.Cells["alg scalar"] = "skip"
+			av, avOK := timeVC2Best(fz, src, dst, vecAlg, 1)
+			row.Cells["alg vec"] = cell(av, avOK)
+			row.Cells["alg speedup"] = "-"
+		}
+		segScalar := timeSegmentOpts(fz, src, dst, core.Options{ScalarTraversal: true}, reps)
+		segVec := timeSegmentOpts(fz, src, dst, core.Options{ForceVecSolver: true}, reps)
+		row.Cells["segment scalar"] = secs(segScalar)
+		row.Cells["segment vec"] = secs(segVec)
+		row.Cells["segment speedup"] = speedup(segScalar, segVec, true)
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig
+}

@@ -86,21 +86,34 @@ type Options struct {
 	// snapshots — see frontier.go). Results are identical either way; the
 	// difftest harness runs both and diffs.
 	ScalarTraversal bool
+	// ForceVecSolver bypasses the DegreeStats regime choice and always takes
+	// the set-at-a-time VC2 solver paths where they apply (see simprovvec.go).
+	// The differential harness and the bench panels force the vectorized side
+	// so small graphs exercise it too; production queries leave this off and
+	// let the snapshot's freeze-time statistics decide.
+	ForceVecSolver bool
 }
 
 // Engine evaluates PgSeg queries over one provenance graph.
 type Engine struct {
 	P    *prov.Graph
 	opts Options
+	// setsDefault records that the caller left Options.Sets nil (factory
+	// functions are not comparable, so the defaulting below is remembered
+	// here): the vectorized SimProvAlg requires the dense-bitset stores for
+	// its word-parallel partner merges and must not silently replace an
+	// explicitly requested set representation (e.g. the Roaring ablation).
+	setsDefault bool
 }
 
 // NewEngine builds an engine; zero-value options select SimProvTst with
 // dense bitsets, pruning and early stopping enabled.
 func NewEngine(p *prov.Graph, opts Options) *Engine {
-	if opts.Sets == nil {
+	setsDefault := opts.Sets == nil
+	if setsDefault {
 		opts.Sets = bitmap.BitsetFactory
 	}
-	return &Engine{P: p, opts: opts}
+	return &Engine{P: p, opts: opts, setsDefault: setsDefault}
 }
 
 // Opts returns the engine options.

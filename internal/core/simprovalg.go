@@ -102,6 +102,12 @@ type algItem struct {
 
 // runSimProvAlg derives all Ee/Aa facts for the query.
 func (e *Engine) runSimProvAlg(src, dst []graph.VertexID, ad *adjacency) (*algFacts, error) {
+	// Set-at-a-time path (simprovvec.go): requires the symmetric-pair
+	// pruning (rounds push canonical pairs) and the default dense-bitset
+	// stores (word-parallel partner merges) on top of the shared gate.
+	if e.vecSolverChosen(ad) && !e.opts.NoPruning && e.setsDefault {
+		return e.runSimProvAlgVec(src, dst, ad)
+	}
 	n := e.P.NumVertices()
 	facts := &algFacts{
 		ee: newPairStore(n, e.opts.Sets),

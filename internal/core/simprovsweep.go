@@ -1,0 +1,244 @@
+package core
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Sweep-form set-at-a-time SimProvTst for temporally monotone snapshots.
+//
+// The level-synchronous frontier solver (tstVecState) materializes every
+// equivalence class [e]_m explicitly, so each edge is re-traversed once per
+// level its endpoint appears in. On deep diamond-shaped provenance the level
+// multiplicity is large and that re-traversal swamps the row-union savings.
+// The depth/height formulation (tstbitset.go) visits each edge exactly once
+// — but its collection phase builds a reversed continuation vector bit by
+// bit per vertex and allocates a shifted copy per answer level, which is
+// where its runtime concentrates on big graphs.
+//
+// This solver keeps the single-visit edge discipline and eliminates the
+// collection convolution algebraically. With A the answer-level set and
+// C(v) the continuation (height) set of the scalar solver, define
+//
+//	T(v) = { i : exists h in C(v) with i+h in A }
+//
+// — the depths at which arriving at v can still complete to an answer-level
+// path. Membership becomes a single word-parallel intersection,
+// v in VC2  <=>  D(v) AND T(v) != 0, and T satisfies local recurrences that
+// one increasing-id sweep evaluates (dependencies have smaller ids):
+//
+//	Tr(a) = union_{e' in inputs(a)}    T(e')     (activities)
+//	T(e)  = A | union_{a in gen(e)}    Tr(a)>>1  (entities)
+//
+// derived by distributing "completes to A" over the scalar recurrences
+// H(e) = {0} | union H'(a), H'(a) = union (H(e')+1). Three linear passes
+// over the reached subgraph at O(maxDepth/64) words per edge, no per-vertex
+// reversal, no per-level shifts. Depth and target sets live in flat slab
+// arenas indexed by discovery slot instead of per-vertex map entries.
+//
+// The sweep requires ancestry edges to strictly descend in vertex id (the
+// same ancestryMonotone condition the scalar bitset path checks); the
+// dispatcher falls back to the level-synchronous solver otherwise.
+
+// bvArena hands out fixed-width bit vectors from append-only slabs, indexed
+// by slot. Slabs arrive zeroed from the allocator, so a freshly assigned
+// slot is an empty vector.
+type bvArena struct {
+	w       int // words per vector
+	perSlab int // vectors per slab
+	slabs   [][]uint64
+}
+
+// bvArenaSlabWords sizes slabs at ~2 MB so huge reaches never re-copy a
+// monolithic arena and small reaches never over-allocate.
+const bvArenaSlabWords = 1 << 18
+
+func newBvArena(w int) *bvArena {
+	per := bvArenaSlabWords / w
+	if per < 1 {
+		per = 1
+	}
+	return &bvArena{w: w, perSlab: per}
+}
+
+func (a *bvArena) vec(slot int32) bitvec {
+	si := int(slot) / a.perSlab
+	for len(a.slabs) <= si {
+		a.slabs = append(a.slabs, make([]uint64, a.perSlab*a.w))
+	}
+	off := (int(slot) % a.perSlab) * a.w
+	return bitvec(a.slabs[si][off : off+a.w : off+a.w])
+}
+
+// orShr1Into dst |= (src >> 1), dropping bit 0 (a continuation one step
+// longer needs arrival one step shallower).
+func orShr1Into(dst, src bitvec) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		w := src[i] >> 1
+		if i+1 < len(src) {
+			w |= src[i+1] << 63
+		}
+		dst[i] |= w
+	}
+}
+
+// tstSweepState carries the per-query constants across destinations.
+type tstSweepState struct {
+	e         *Engine
+	av        ancestryViews
+	src       []graph.VertexID
+	minSrcID  int64
+	nAct      int
+	earlyStop bool
+}
+
+func (e *Engine) newTstSweepState(ad *adjacency, src []graph.VertexID) *tstSweepState {
+	st := &tstSweepState{
+		e:         e,
+		av:        e.resolveAncestryViews(ad),
+		src:       src,
+		minSrcID:  int64(1) << 62,
+		nAct:      len(e.P.Activities()),
+		earlyStop: !e.opts.NoEarlyStop,
+	}
+	for _, s := range src {
+		if int64(s) < st.minSrcID {
+			st.minSrcID = int64(s)
+		}
+	}
+	return st
+}
+
+// run evaluates one destination and accumulates its VC2 vertices into out.
+func (st *tstSweepState) run(vj graph.VertexID, out *bitmap.Bitset) {
+	// Depth cap, exactly as tstSingleBitset: levels strictly descend by at
+	// least one activity and one entity id per step.
+	maxD := st.nAct + 1
+	if st.earlyStop {
+		if gap := int(int64(vj) - st.minSrcID); gap >= 0 && gap/2+2 < maxD {
+			maxD = gap/2 + 2
+		} else if gap < 0 {
+			maxD = 1
+		}
+	}
+	width := maxD + 2
+	W := (width + 63) / 64
+
+	p := st.e.P
+	n := int(vj) + 1
+	// Slots are 1-based so the zero value of slotOf means "unreached".
+	slotOf := make([]int32, n)
+	depth := newBvArena(W)
+	nslots := int32(0)
+	reached := bitmap.NewBitset(n)
+	slot := func(v uint32) int32 {
+		if s := slotOf[v]; s != 0 {
+			return s
+		}
+		nslots++
+		slotOf[v] = nslots
+		reached.Add(v)
+		return nslots
+	}
+
+	depth.vec(slot(uint32(vj))).set(0)
+
+	// Downward sweep (decreasing ids). Ancestry rows only hold strictly
+	// smaller ids, so a vertex's depth set is final when the countdown
+	// reaches it and every push lands ahead of the scan.
+	for cur := int(vj); cur >= 0; cur-- {
+		if !reached.Contains(uint32(cur)) {
+			continue
+		}
+		v := graph.VertexID(cur)
+		dv := depth.vec(slotOf[cur])
+		if p.IsKind(v, prov.KindEntity) {
+			b, x := st.av.genOut.Row(v)
+			for _, a := range b {
+				orShift1Into(depth.vec(slot(uint32(a))), dv)
+			}
+			for _, a := range x {
+				orShift1Into(depth.vec(slot(uint32(a))), dv)
+			}
+		} else {
+			b, x := st.av.usedOut.Row(v)
+			for _, in := range b {
+				orInto(depth.vec(slot(uint32(in))), dv)
+			}
+			for _, in := range x {
+				orInto(depth.vec(slot(uint32(in))), dv)
+			}
+		}
+	}
+
+	// Answer levels: depths at which a source is reached, capped at maxD+1
+	// (deeper bits are word-granularity spill, never genuine answer levels).
+	var answers bitvec
+	for _, s := range st.src {
+		if int64(s) >= int64(n) {
+			continue
+		}
+		if sl := slotOf[uint32(s)]; sl != 0 {
+			if answers == nil {
+				answers = make(bitvec, W)
+			}
+			orInto(answers, depth.vec(sl))
+		}
+	}
+	if answers == nil {
+		return
+	}
+	top := maxD + 1
+	for i := range answers {
+		if base := i * 64; base+63 > top {
+			if base > top {
+				answers[i] = 0
+			} else {
+				answers[i] &= (1 << uint(top-base+1)) - 1
+			}
+		}
+	}
+	maxM := answers.maxBit()
+	if maxM < 0 {
+		return
+	}
+
+	// Upward sweep (increasing ids): evaluate T bottom-up and test
+	// membership in place. T only needs bits [0, maxM], so the target
+	// arena's width shrinks to the answer window.
+	TW := maxM/64 + 1
+	ansT := answers[:TW]
+	tar := newBvArena(TW)
+	reached.Iterate(func(xv uint32) bool {
+		v := graph.VertexID(xv)
+		sl := slotOf[xv]
+		tv := tar.vec(sl)
+		if p.IsKind(v, prov.KindEntity) {
+			copy(tv, ansT)
+			b, x := st.av.genOut.Row(v)
+			for _, a := range b {
+				orShr1Into(tv, tar.vec(slotOf[uint32(a)]))
+			}
+			for _, a := range x {
+				orShr1Into(tv, tar.vec(slotOf[uint32(a)]))
+			}
+		} else {
+			b, x := st.av.usedOut.Row(v)
+			for _, in := range b {
+				orInto(tv, tar.vec(slotOf[uint32(in)]))
+			}
+			for _, in := range x {
+				orInto(tv, tar.vec(slotOf[uint32(in)]))
+			}
+		}
+		if depth.vec(sl)[:TW].intersects(tv) {
+			out.Add(xv)
+		}
+		return true
+	})
+}

@@ -50,6 +50,29 @@ func chainSig(parent uint64, part string) uint64 {
 // runSimProvTst computes VC2 for all destinations.
 func (e *Engine) runSimProvTst(src, dst []graph.VertexID, ad *adjacency) (*bitmap.Bitset, error) {
 	out := bitmap.NewBitset(e.P.NumVertices())
+	// Set-at-a-time path: plain queries on frozen snapshots whose ancestry
+	// blocks are big enough for whole-row passes (or with ForceVecSolver)
+	// run the sweep solver (simprovsweep.go) on temporally monotone
+	// snapshots, and the level-synchronous frontier solver (simprovvec.go)
+	// when out-of-order ingestion bars the single-sweep propagation.
+	if e.vecSolverChosen(ad) {
+		if e.ancestryMonotone() {
+			sw := e.newTstSweepState(ad, src)
+			for _, vj := range dst {
+				if ad.vertexOK(vj) {
+					sw.run(vj, out)
+				}
+			}
+			return out, nil
+		}
+		st := e.newTstVecState(ad, src)
+		for _, vj := range dst {
+			if ad.vertexOK(vj) {
+				st.run(vj, out)
+			}
+		}
+		return out, nil
+	}
 	srcSet := make(map[graph.VertexID]bool, len(src))
 	minSrc := int64(1) << 62
 	for _, s := range src {

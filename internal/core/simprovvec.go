@@ -1,0 +1,539 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/cflr"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Set-at-a-time VC2 solvers. The scalar SimProvTst/SimProvAlg worklists
+// dominate segmentation runtime after PR 7 vectorized the closures: both
+// re-check successors vertex-at-a-time through the adjacency wrapper. On a
+// frozen snapshot with a plain boundary every per-rule neighbor set is a
+// contiguous CSR row, so the same treatment the frontier engine gave the
+// closures applies to the solvers themselves:
+//
+//   - SimProvTst runs the three-sweep depth/target-set solver on temporally
+//     monotone snapshots (simprovsweep.go). On out-of-order ingestion the
+//     per-level classes become frontier sets materialized by RelView row
+//     unions — one pass per level instead of per-vertex generator/input
+//     rescans, and the backward answer prune becomes AnyInto probes against
+//     a kept-entity bitset (tstVec below).
+//   - SimProvAlg's worklist pops are grouped per round and per left vertex:
+//     all partners a vertex gains in a round derive through one target-set
+//     union followed by a word-parallel DiffAddInto against the existing
+//     partner set, replacing per-pair hash pushes (algVec below).
+//
+// Excluded relation types are dropped when the block views are resolved —
+// their CSR blocks are never read (the zero RelView yields empty rows),
+// which the graph package's row-read hook pins in tests.
+//
+// Both solvers are exact replacements: tstVec mirrors tstSingle's
+// single-chain plain-mode semantics level by level (including the
+// answer-before-early-stop ordering), algVec derives the same fact closure
+// as the scalar worklist in batched order (set closure is order-free). The
+// scalar paths stay addressable behind Options.ScalarTraversal and the
+// difftest harness diffs all four solver variants over randomized
+// incremental snapshot chains (difftest.DiffSolvers, FuzzVecSolver).
+
+// vecSolverMinEdges gates the set-at-a-time solvers on the snapshot's
+// freeze-time ancestry edge volume: below it, per-destination worklists are
+// tiny and the scalar solvers win by skipping the bitset scaffolding (the
+// scratch allocation plus O(n/64)-word passes per dense level).
+const vecSolverMinEdges = 4096
+
+// vecSolverApplicable reports whether the set-at-a-time solvers may serve
+// this query at all: frozen CSR rows to union, a plain boundary (per-edge
+// predicates would run per element anyway), and no property-match
+// constraints (property signatures split levels into per-value class
+// chains, which the single-chain frontier representation cannot express).
+func (e *Engine) vecSolverApplicable(ad *adjacency) bool {
+	return !e.opts.ScalarTraversal && ad.plain && e.P.Frozen() &&
+		e.opts.MatchActivityProp == "" && e.opts.MatchEntityProp == ""
+}
+
+// vecSolverChosen applies the regime choice on top of applicability: the
+// freeze-time DegreeStats decide whether the ancestry blocks (U and G) are
+// big enough for whole-row passes to beat the scalar worklists.
+// ForceVecSolver bypasses the heuristic — the differential harness and the
+// bench panels force the vectorized side so small graphs exercise it too.
+func (e *Engine) vecSolverChosen(ad *adjacency) bool {
+	if !e.vecSolverApplicable(ad) {
+		return false
+	}
+	if e.opts.ForceVecSolver {
+		return true
+	}
+	ds := e.P.PG().Degrees()
+	ancestry := ds.EdgesWithLabel(e.P.RelLabel(prov.RelUsed)) +
+		ds.EdgesWithLabel(e.P.RelLabel(prov.RelGen))
+	return ancestry >= vecSolverMinEdges
+}
+
+// ancestryViews resolves the U/G block views a vectorized solver needs,
+// honoring the boundary's relation exclusions: an excluded relation maps to
+// the zero RelView, whose rows are empty — the block itself is never
+// acquired, so none of its rows are ever read.
+type ancestryViews struct {
+	genOut  graph.RelView // entity  -> generating activities (G out-rows)
+	genIn   graph.RelView // activity -> generated entities    (G in-rows)
+	usedOut graph.RelView // activity -> input entities        (U out-rows)
+}
+
+func (e *Engine) resolveAncestryViews(ad *adjacency) ancestryViews {
+	g := e.P.PG()
+	var av ancestryViews
+	if ad.relOK[prov.RelGen] {
+		l := e.P.RelLabel(prov.RelGen)
+		if g.LabelHasEdges(l, true) {
+			av.genOut, _ = g.RelBlockView(l, true)
+		}
+		if g.LabelHasEdges(l, false) {
+			av.genIn, _ = g.RelBlockView(l, false)
+		}
+	}
+	if ad.relOK[prov.RelUsed] {
+		l := e.P.RelLabel(prov.RelUsed)
+		if g.LabelHasEdges(l, true) {
+			av.usedOut, _ = g.RelBlockView(l, true)
+		}
+	}
+	return av
+}
+
+// --- tstVec: level-synchronous SimProvTst -------------------------------
+
+// tstVecState carries one query's scratch across destinations. The scratch
+// bitset and the kept-entity set are left empty between uses so one
+// allocation serves every destination; per-level member lists are reused by
+// capacity.
+type tstVecState struct {
+	e         *Engine
+	av        ancestryViews
+	srcSet    *bitmap.Bitset
+	minSrc    int64
+	earlyStop bool
+	maxLevel  int
+	sparseMax int
+
+	scratch *bitmap.Bitset // level dedup + prune target set; empty between uses
+	xe      *bitmap.Bitset // backward-prune kept-entity set; empty between uses
+
+	entLv  [][]uint32 // [e]_m per level (deduplicated, unordered)
+	actLv  [][]uint32 // [a]_m per level
+	answer []bool     // level contains a source entity
+
+	keptBuf, xeBuf, newBuf, genBuf []uint32
+}
+
+func (e *Engine) newTstVecState(ad *adjacency, src []graph.VertexID) *tstVecState {
+	n := e.P.NumVertices()
+	st := &tstVecState{
+		e:         e,
+		av:        e.resolveAncestryViews(ad),
+		srcSet:    bitmap.NewBitset(n),
+		minSrc:    int64(1) << 62,
+		earlyStop: !e.opts.NoEarlyStop,
+		maxLevel:  n + 1,
+		sparseMax: n/64 + 1,
+		scratch:   bitmap.NewBitset(n),
+		xe:        bitmap.NewBitset(n),
+	}
+	for _, s := range src {
+		st.srcSet.Add(uint32(s))
+		if o := e.P.Order(s); o < st.minSrc {
+			st.minSrc = o
+		}
+	}
+	return st
+}
+
+func (st *tstVecState) ensureLevel(l int) {
+	for len(st.entLv) <= l {
+		st.entLv = append(st.entLv, nil)
+		st.actLv = append(st.actLv, nil)
+		st.answer = append(st.answer, false)
+	}
+}
+
+// unionRows unions the view's rows over the members into dst, deduplicated
+// through the scratch bitset. Sparse frontiers (at most n/64 members, the
+// array-container regime) test-and-set per element and undo their bits by
+// Remove afterwards; dense frontiers pay whole-row OrInto scatters, one
+// materializing iteration and one word-parallel Clear instead. The scratch
+// is empty again on return either way.
+func (st *tstVecState) unionRows(vw graph.RelView, members []uint32, dst []uint32) []uint32 {
+	if len(members) <= st.sparseMax {
+		for _, m := range members {
+			b, x := vw.Row(graph.VertexID(m))
+			for _, nb := range b {
+				if st.scratch.Add(uint32(nb)) {
+					dst = append(dst, uint32(nb))
+				}
+			}
+			for _, nb := range x {
+				if st.scratch.Add(uint32(nb)) {
+					dst = append(dst, uint32(nb))
+				}
+			}
+		}
+		for _, x := range dst {
+			st.scratch.Remove(x)
+		}
+		return dst
+	}
+	for _, m := range members {
+		b, x := vw.Row(graph.VertexID(m))
+		bitmap.OrInto(st.scratch, b)
+		bitmap.OrInto(st.scratch, x)
+	}
+	st.scratch.Iterate(func(x uint32) bool { dst = append(dst, x); return true })
+	st.scratch.Clear()
+	return dst
+}
+
+// allOld reports the temporal early stop: every member of the new level is
+// strictly older than every source, so no deeper level of this chain can be
+// an answer level (derivation strictly descends in order-of-being).
+func (st *tstVecState) allOld(ents, acts []uint32) bool {
+	for _, x := range ents {
+		if st.e.P.Order(graph.VertexID(x)) >= st.minSrc {
+			return false
+		}
+	}
+	for _, x := range acts {
+		if st.e.P.Order(graph.VertexID(x)) >= st.minSrc {
+			return false
+		}
+	}
+	return true
+}
+
+// run evaluates one destination: the forward level iteration
+// ([a]_{m+1} = generators of [e]_m, [e]_{m+1} = inputs of [a]_{m+1}) as row
+// unions, then one fused backward prune over all answer levels.
+func (st *tstVecState) run(vj graph.VertexID, out *bitmap.Bitset) {
+	st.ensureLevel(0)
+	st.entLv[0] = append(st.entLv[0][:0], uint32(vj))
+	st.actLv[0] = st.actLv[0][:0]
+	st.answer[0] = st.srcSet.Contains(uint32(vj))
+	deepest := -1
+	if st.answer[0] {
+		deepest = 0
+	}
+	lvl := 0
+	for lvl < st.maxLevel {
+		st.ensureLevel(lvl + 1)
+		acts := st.unionRows(st.av.genOut, st.entLv[lvl], st.actLv[lvl+1][:0])
+		st.actLv[lvl+1] = acts
+		if len(acts) == 0 {
+			break
+		}
+		ents := st.unionRows(st.av.usedOut, acts, st.entLv[lvl+1][:0])
+		st.entLv[lvl+1] = ents
+		if len(ents) == 0 {
+			break
+		}
+		lvl++
+		ans := false
+		for _, x := range ents {
+			if st.srcSet.Contains(x) {
+				ans = true
+				break
+			}
+		}
+		st.answer[lvl] = ans
+		if ans {
+			deepest = lvl
+		}
+		// Answer check before the early stop, like the scalar chain: a level
+		// that is both an answer and all-old still contributes its prune.
+		if st.earlyStop && st.allOld(ents, acts) {
+			break
+		}
+	}
+	if deepest >= 0 {
+		st.collect(deepest, out)
+	}
+}
+
+// collect is the backward answer prune, fused over every answer level in
+// one sweep from the deepest: the kept-entity set Xe absorbs each answer
+// level's full class as the sweep reaches it. Fusing is exact because the
+// per-level prune steps (kept activities = those with an input in Xe, kept
+// parents = previous level ∩ generated-by-kept) distribute over unions of
+// Xe — one walk with the merged set equals the scalar solver's separate
+// tstCollect chains.
+func (st *tstVecState) collect(deepest int, out *bitmap.Bitset) {
+	xeL := st.xeBuf[:0]
+	newL := st.newBuf[:0]
+	for l := deepest; ; l-- {
+		if st.answer[l] {
+			for _, x := range st.entLv[l] {
+				if st.xe.Add(x) {
+					out.Add(x)
+					xeL = append(xeL, x)
+				}
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Kept activities: at least one input entity still in Xe. The probe
+		// is AnyInto against the kept set — early exit per row.
+		kept := st.keptBuf[:0]
+		for _, a := range st.actLv[l] {
+			b, x := st.av.usedOut.Row(graph.VertexID(a))
+			if bitmap.AnyInto(st.xe, b) || bitmap.AnyInto(st.xe, x) {
+				kept = append(kept, a)
+				out.Add(a)
+			}
+		}
+		st.keptBuf = kept
+		// Parent entities: previous level ∩ entities generated by a kept
+		// activity. The generated set is built in the scratch bitset (same
+		// sparse/dense split as unionRows) and probed per parent candidate.
+		genSparse := len(kept) <= st.sparseMax
+		genL := st.genBuf[:0] // recorded for the sparse clear only
+		for _, a := range kept {
+			b, x := st.av.genIn.Row(graph.VertexID(a))
+			if genSparse {
+				for _, nb := range b {
+					if st.scratch.Add(uint32(nb)) {
+						genL = append(genL, uint32(nb))
+					}
+				}
+				for _, nb := range x {
+					if st.scratch.Add(uint32(nb)) {
+						genL = append(genL, uint32(nb))
+					}
+				}
+			} else {
+				bitmap.OrInto(st.scratch, b)
+				bitmap.OrInto(st.scratch, x)
+			}
+		}
+		newL = newL[:0]
+		for _, x := range st.entLv[l-1] {
+			if st.scratch.Contains(x) {
+				newL = append(newL, x)
+				out.Add(x)
+			}
+		}
+		if genSparse {
+			for _, x := range genL {
+				st.scratch.Remove(x)
+			}
+		} else {
+			st.scratch.Clear()
+		}
+		st.genBuf = genL[:0]
+		// Xe for the next (shallower) iteration is exactly the kept parents.
+		for _, x := range xeL {
+			st.xe.Remove(x)
+		}
+		for _, x := range newL {
+			st.xe.Add(x)
+		}
+		xeL, newL = newL, xeL[:0]
+	}
+	for _, x := range xeL {
+		st.xe.Remove(x)
+	}
+	st.xeBuf, st.newBuf = xeL[:0], newL[:0]
+}
+
+// --- algVec: round-grouped SimProvAlg -----------------------------------
+
+// algVecPending is one canonical pair awaiting derivation, keyed for
+// grouping by its left vertex.
+type algVecPending struct{ u, v uint32 }
+
+// runSimProvAlgVec derives the same Ee/Aa closure as the scalar worklist,
+// round by round: pending pairs are grouped by left vertex, each group
+// unions its right sides' generator (resp. input) rows into one target set,
+// and each left-side generator a1 then gains all its new partners in a
+// single word-parallel DiffAddInto against its partner bitset. Per-pair
+// hash-queue churn becomes one diff pass per (group, a1).
+//
+// Requires the default dense-bitset fact sets (DiffAddInto's word-parallel
+// path) and the symmetric-pair pruning (rounds push canonical pairs); the
+// dispatcher falls back to the scalar worklist otherwise.
+func (e *Engine) runSimProvAlgVec(src, dst []graph.VertexID, ad *adjacency) (*algFacts, error) {
+	n := e.P.NumVertices()
+	facts := &algFacts{
+		ee: newPairStore(n, bitmap.BitsetFactory),
+		aa: newPairStore(n, bitmap.BitsetFactory),
+	}
+	av := e.resolveAncestryViews(ad)
+
+	minSrc := int64(1) << 62
+	for _, s := range src {
+		if o := e.P.Order(s); o < minSrc {
+			minSrc = o
+		}
+	}
+	earlyStop := !e.opts.NoEarlyStop
+
+	var pendEe, pendAa []algVecPending
+	for _, vj := range dst {
+		if !ad.vertexOK(vj) {
+			continue
+		}
+		if facts.ee.add(vj, vj) {
+			pendEe = append(pendEe, algVecPending{uint32(vj), uint32(vj)})
+			if e.opts.MaxFacts > 0 && facts.NumFacts() > e.opts.MaxFacts {
+				return facts, cflr.ErrFactBudget
+			}
+		}
+	}
+
+	target := bitmap.NewBitset(n)
+	sparseMax := n/64 + 1
+	var targetL, newBuf []uint32
+
+	// derive processes one round of pending pairs of one relation: for each
+	// left-vertex group, union the step rows (fwd) of the admitted right
+	// sides into the target set, then merge the target into every partner
+	// set of the left side's own step row (lhs), pushing the new canonical
+	// pairs into the next round of the other relation.
+	derive := func(pend []algVecPending, fwd, lhs graph.RelView, store *pairStore, next []algVecPending) ([]algVecPending, error) {
+		sort.Slice(pend, func(i, j int) bool { return pend[i].u < pend[j].u })
+		for i := 0; i < len(pend); {
+			u := pend[i].u
+			j := i
+			for j < len(pend) && pend[j].u == u {
+				j++
+			}
+			group := pend[i:j]
+			i = j
+			uOld := earlyStop && e.P.Order(graph.VertexID(u)) < minSrc
+			lb, lx := lhs.Row(graph.VertexID(u))
+			if len(lb)+len(lx) == 0 {
+				continue
+			}
+			// Target set: union of the step rows over the group's right
+			// sides, minus the early-stopped pairs (both sides strictly
+			// older than every source can never reach an answer).
+			targetL = targetL[:0]
+			dense := false
+			for _, p := range group {
+				if uOld && e.P.Order(graph.VertexID(p.v)) < minSrc {
+					continue
+				}
+				b, x := fwd.Row(graph.VertexID(p.v))
+				if dense {
+					bitmap.OrInto(target, b)
+					bitmap.OrInto(target, x)
+					continue
+				}
+				for _, nb := range b {
+					if target.Add(uint32(nb)) {
+						targetL = append(targetL, uint32(nb))
+					}
+				}
+				for _, nb := range x {
+					if target.Add(uint32(nb)) {
+						targetL = append(targetL, uint32(nb))
+					}
+				}
+				if len(targetL) > sparseMax {
+					dense = true
+				}
+			}
+			if !dense && len(targetL) == 0 {
+				continue
+			}
+			for _, a1 := range lb {
+				var err error
+				next, err = facts.mergePartners(store, uint32(a1), target, targetL, dense, &newBuf, next, e.opts.MaxFacts)
+				if err != nil {
+					return next, err
+				}
+			}
+			for _, a1 := range lx {
+				var err error
+				next, err = facts.mergePartners(store, uint32(a1), target, targetL, dense, &newBuf, next, e.opts.MaxFacts)
+				if err != nil {
+					return next, err
+				}
+			}
+			if dense {
+				target.Clear()
+			} else {
+				for _, x := range targetL {
+					target.Remove(x)
+				}
+			}
+		}
+		return next, nil
+	}
+
+	for len(pendEe)+len(pendAa) > 0 {
+		// Ee pops derive Aa pairs over the G rows: Aa(a1,a2) <- G^-1 Ee G.
+		batch := pendEe
+		pendEe = pendEe[len(pendEe):]
+		var err error
+		pendAa, err = derive(batch, av.genOut, av.genOut, facts.aa, pendAa)
+		if err != nil {
+			return facts, err
+		}
+		// Aa pops derive Ee pairs over the U rows: Ee(e1,e2) <- U^-1 Aa U.
+		batch = pendAa
+		pendAa = pendAa[len(pendAa):]
+		pendEe, err = derive(batch, av.usedOut, av.usedOut, facts.ee, pendEe)
+		if err != nil {
+			return facts, err
+		}
+	}
+	return facts, nil
+}
+
+// mergePartners merges the target set into a1's partner set and pushes each
+// new canonical pair into next. Dense targets diff word-parallel
+// (DiffAddInto); sparse ones walk their element list instead — a handful of
+// test-and-set adds beats scanning every word of the partner universe. The
+// budget check runs after the merge, like the scalar per-add check but
+// batched per row: the returned facts are still a superset witness of the
+// budget excess.
+func (f *algFacts) mergePartners(store *pairStore, a1 uint32, target *bitmap.Bitset, targetL []uint32, dense bool, newBuf *[]uint32, next []algVecPending, maxFacts int) ([]algVecPending, error) {
+	su := store.sets[a1]
+	if su == nil {
+		su = store.factory(store.n)
+		store.sets[a1] = su
+	}
+	if dense {
+		*newBuf = target.DiffAddInto(su, (*newBuf)[:0])
+	} else {
+		nb := (*newBuf)[:0]
+		for _, t := range targetL {
+			if su.Add(t) {
+				nb = append(nb, t)
+			}
+		}
+		*newBuf = nb
+	}
+	for _, t := range *newBuf {
+		if t != a1 {
+			sv := store.sets[t]
+			if sv == nil {
+				sv = store.factory(store.n)
+				store.sets[t] = sv
+			}
+			sv.Add(a1)
+		}
+		store.count++
+		u, v := a1, t
+		if u > v {
+			u, v = v, u
+		}
+		next = append(next, algVecPending{u, v})
+	}
+	if maxFacts > 0 && f.NumFacts() > maxFacts {
+		return next, cflr.ErrFactBudget
+	}
+	return next, nil
+}

@@ -107,3 +107,38 @@ func FuzzVecScalar(f *testing.F) {
 		}
 	})
 }
+
+// TestSolverDifferential runs the VC2 solver matrix (SimProvTst and
+// SimProvAlg, each vectorized and scalar — see solverdiff.go) over
+// randomized incremental snapshot chains.
+func TestSolverDifferential(t *testing.T) {
+	scripts, size, epochs, queries := 25, 120, 4, 2
+	if !testing.Short() {
+		scripts, size, epochs, queries = 60, 300, 6, 4
+	}
+	incremental := 0
+	for seed := 0; seed < scripts; seed++ {
+		res, err := CheckSolverScript(int64(seed), size, epochs, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incremental += res.Incremental
+	}
+	// The solvers' row unions must have been diffed over extended
+	// (two-segment) CSR blocks, not just fresh contiguous snapshots.
+	if incremental == 0 {
+		t.Fatal("no script epoch took the incremental freeze path")
+	}
+	t.Logf("%d scripts, %d incremental epochs", scripts, incremental)
+}
+
+func FuzzVecSolver(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if _, err := CheckSolverScript(seed, 90, 4, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prov"
+)
+
+// Solver-level differential: the set-at-a-time VC2 solvers
+// (core/simprovvec.go) promise the exact vertex sets of their scalar
+// worklist counterparts. DiffSolvers runs the full solver matrix on one
+// query — SimProvTst and SimProvAlg, each forced through its vectorized
+// path and with ScalarTraversal forced — and asserts all four produce the
+// same VC2 set, then diffs whole segments with the solver forced each way.
+// CheckSolverScript replays the matrix over incremental ExtendFrozen
+// chains, so the vectorized row unions see two-segment extended CSR rows,
+// not just freshly frozen contiguous ones.
+
+// solverVariant names one (solver, traversal) corner of the matrix.
+type solverVariant struct {
+	name string
+	opts core.Options
+}
+
+func solverMatrix() []solverVariant {
+	return []solverVariant{
+		{"tst-scalar", core.Options{Solver: core.SolverTst, ScalarTraversal: true}},
+		{"tst-vec", core.Options{Solver: core.SolverTst, ForceVecSolver: true}},
+		{"alg-scalar", core.Options{Solver: core.SolverAlg, ScalarTraversal: true}},
+		{"alg-vec", core.Options{Solver: core.SolverAlg, ForceVecSolver: true}},
+	}
+}
+
+// DiffSolvers asserts the four solver variants agree on the query's VC2 set
+// (cross-solver equality is the paper's Thm. 1/2 contract; scalar-vs-vec
+// equality is the vectorization contract), then diffs full segments with
+// the default solver forced vectorized vs scalar.
+func DiffSolvers(p *prov.Graph, q core.Query) error {
+	var ref []uint32
+	var refName string
+	for _, v := range solverMatrix() {
+		set, err := core.NewEngine(p, v.opts).SimilarPaths(q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		got := set.ToSlice()
+		if ref == nil {
+			ref, refName = got, v.name
+			continue
+		}
+		if len(got) != len(ref) {
+			return fmt.Errorf("VC2 size mismatch: %s %d vs %s %d", v.name, len(got), refName, len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return fmt.Errorf("VC2 mismatch at %d: %s %d vs %s %d", i, v.name, got[i], refName, ref[i])
+			}
+		}
+	}
+	vs, verr := core.NewEngine(p, core.Options{ForceVecSolver: true}).Segment(q)
+	ss, serr := core.NewEngine(p, core.Options{ScalarTraversal: true}).Segment(q)
+	if (verr == nil) != (serr == nil) {
+		return fmt.Errorf("segment error mismatch: vec %v vs scalar %v", verr, serr)
+	}
+	if verr != nil {
+		return nil
+	}
+	return diffSegPair(vs, ss)
+}
+
+// CheckSolverScript replays a gen.Pd lifecycle graph in randomized edge
+// batches through an incremental snapshot chain and runs DiffSolvers on
+// randomized queries at every epoch.
+func CheckSolverScript(seed int64, size, epochs, queries int) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	src := gen.Pd(gen.PdConfig{N: size, Seed: seed}).PG()
+	rep := NewReplayer(src)
+	prov.Wrap(rep.Graph())
+
+	cuts := randomCuts(rng, src.NumEdges(), epochs)
+	var prev *graph.Graph
+	var res Result
+	for ep, cut := range cuts {
+		rep.StepEdges(cut)
+		if ep == len(cuts)-1 {
+			rep.FinishVertices()
+		}
+		incr, inc := rep.Graph().ExtendFrozen(prev)
+		res.Epochs++
+		if inc {
+			res.Incremental++
+		}
+		p := prov.Wrap(incr)
+		for qi := 0; qi < queries; qi++ {
+			q, ok := randomQuery(rng, p)
+			if !ok {
+				break
+			}
+			if err := DiffSolvers(p, q); err != nil {
+				return res, fmt.Errorf("seed %d epoch %d query %d: %w", seed, ep, qi, err)
+			}
+		}
+		prev = incr
+	}
+	return res, nil
+}
